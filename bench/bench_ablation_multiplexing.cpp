@@ -1,0 +1,54 @@
+// Ablation: segment-container multiplexing (DESIGN.md decision #6 / §4.1).
+//
+// Pravega maps many segments to few containers, each with ONE WAL log, so
+// small appends from many segments coalesce into large frames. This
+// ablation runs 500 segments at 100 MB/s with 8 containers (multiplexed),
+// 64, and 512 (approaching one log per segment) and reports throughput,
+// latency, and WAL write amplification.
+#include <cstdio>
+
+#include "bench/harness/adapters.h"
+
+using namespace pravega;
+using namespace pravega::bench;
+
+int main() {
+    std::printf("# Ablation: container multiplexing, 500 segments, 100 MB/s of 1KB events\n");
+    std::printf("%12s %12s %9s %9s %14s %12s\n", "containers", "achieved", "p50(ms)",
+                "p95(ms)", "wal-entries/s", "journal MB/s");
+    for (uint32_t containers : {8u, 64u, 512u}) {
+        PravegaOptions opt;
+        opt.segments = 500;
+        opt.numWriters = 10;
+        opt.tweak = [containers](cluster::ClusterConfig& cfg) {
+            cfg.containerCount = containers;
+            cfg.store.container.storage.flushTimeout = sim::sec(10);
+        };
+        auto world = makePravega(opt);
+        WorkloadConfig w;
+        w.eventBytes = 1024;
+        w.eventsPerSec = 100.0 * 1024;
+        w.window = sim::sec(2);
+        auto stats = runOpenLoop(world->exec(), world->producers, w);
+
+        // WAL entry rate and journal bytes across all containers/bookies.
+        uint64_t walEntries = 0;
+        for (auto* store : world->cluster->stores()) {
+            for (uint32_t c : store->containerIds()) {
+                walEntries += static_cast<uint64_t>(
+                    store->container(c)->walLog().nextSequence());
+            }
+        }
+        uint64_t journalBytes = 0;
+        for (auto* b : world->cluster->bookies()) journalBytes += b->storedBytes();
+        std::printf("%12u %12.1f %9.2f %9.2f %14.0f %12.1f\n", containers, stats.achievedMBps,
+                    stats.p50Ms, stats.p95Ms,
+                    static_cast<double>(walEntries) / (stats.windowSec + 0.5),
+                    static_cast<double>(journalBytes) / (stats.windowSec + 0.5) /
+                        (1024 * 1024));
+        std::fflush(stdout);
+    }
+    std::printf("# Expectation: more containers -> more, smaller WAL entries; latency and\n"
+                "# efficiency degrade as multiplexing is lost (DESIGN.md, EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 5: impact of data durability on write performance (§5.2).
+//
+// Latency vs throughput for 100B events, one writer/producer, comparing
+// Pravega (flush = default, and the no-flush ablation) against the
+// Kafka-like baseline (no flush = default, and flush.messages=1).
+// Paper shapes to reproduce: (a) 1 segment/partition — Pravega(flush)
+// reaches a max throughput well above Kafka(no flush) while Kafka(flush)
+// pays a large latency penalty at moderate rates; (b) 16 segments —
+// Pravega and Kafka(no flush) both reach ~1M events/s.
+#include <cstdio>
+
+#include "bench/harness/adapters.h"
+
+using namespace pravega;
+using namespace pravega::bench;
+
+namespace {
+
+const double kRates[] = {10e3, 50e3, 100e3, 250e3, 500e3, 800e3, 1.2e6, 1.6e6};
+
+WorkloadConfig workload(double rate) {
+    WorkloadConfig cfg;
+    cfg.eventsPerSec = rate;
+    cfg.eventBytes = 100;
+    cfg.useKeys = true;
+    cfg.warmup = sim::msec(500);
+    cfg.window = sim::sec(3);
+    cfg.maxEvents = 1'500'000;
+    return cfg;
+}
+
+void sweepPravega(const char* name, int segments, bool journalSync) {
+    for (double rate : kRates) {
+        PravegaOptions opt;
+        opt.segments = segments;
+        opt.numWriters = 1;
+        opt.journalSync = journalSync;
+        auto world = makePravega(opt);
+        auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
+        printRow(name, stats);
+        if (stats.achievedEventsPerSec < 0.85 * rate) break;  // saturated
+    }
+}
+
+void sweepKafka(const char* name, int partitions, bool flush) {
+    for (double rate : kRates) {
+        KafkaOptions opt;
+        opt.partitions = partitions;
+        opt.numProducers = 1;
+        opt.flushEveryMessage = flush;
+        auto world = makeKafka(opt);
+        auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
+        printRow(name, stats);
+        if (stats.achievedEventsPerSec < 0.85 * rate) break;
+    }
+}
+
+}  // namespace
+
+int main() {
+    printHeader("Figure 5a: durability, 1 segment/partition, 1 writer, 100B events", "");
+    sweepPravega("pravega-flush/1seg", 1, true);
+    sweepPravega("pravega-noflush/1seg", 1, false);
+    sweepKafka("kafka-noflush/1part", 1, false);
+    sweepKafka("kafka-flush/1part", 1, true);
+
+    std::printf("\n");
+    printHeader("Figure 5b: durability, 16 segments/partitions, 1 writer, 100B events", "");
+    sweepPravega("pravega-flush/16seg", 16, true);
+    sweepKafka("kafka-noflush/16part", 16, false);
+    sweepKafka("kafka-flush/16part", 16, true);
+    return 0;
+}

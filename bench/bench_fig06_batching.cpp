@@ -1,0 +1,83 @@
+// Figure 6: evaluation of client batching strategies (§5.3).
+//
+// (a) 1 segment/partition: Pravega's dynamic batching vs the Pulsar-like
+//     baseline with batching enabled (128KB/1ms) and disabled. Paper shape:
+//     Pulsar(no batch) has low latency but a low maximum throughput;
+//     Pulsar(batch) reaches high throughput at higher latency; Pravega gets
+//     both ends without configuration.
+// (b) 16 segments/partitions: Pravega vs Kafka with the default client
+//     batching (1ms/128KB) and with a throughput-oriented configuration
+//     (10ms linger, 1MB batches). The paper finds the bigger batches do NOT
+//     help under random routing keys.
+#include <cstdio>
+
+#include "bench/harness/adapters.h"
+
+using namespace pravega;
+using namespace pravega::bench;
+
+namespace {
+
+const double kRates[] = {5e3, 10e3, 50e3, 100e3, 250e3, 500e3, 800e3, 1.2e6};
+
+WorkloadConfig workload(double rate) {
+    WorkloadConfig cfg;
+    cfg.eventsPerSec = rate;
+    cfg.eventBytes = 100;
+    cfg.useKeys = true;
+    cfg.window = sim::sec(3);
+    cfg.maxEvents = 1'500'000;
+    return cfg;
+}
+
+void sweepPravega(const char* name, int segments) {
+    for (double rate : kRates) {
+        PravegaOptions opt;
+        opt.segments = segments;
+        auto world = makePravega(opt);
+        auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
+        printRow(name, stats);
+        if (stats.achievedEventsPerSec < 0.85 * rate) break;
+    }
+}
+
+void sweepPulsar(const char* name, int partitions, bool batching) {
+    for (double rate : kRates) {
+        PulsarOptions opt;
+        opt.partitions = partitions;
+        opt.batchingEnabled = batching;
+        auto world = makePulsar(opt);
+        auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
+        printRow(name, stats);
+        if (stats.achievedEventsPerSec < 0.85 * rate) break;
+    }
+}
+
+void sweepKafka(const char* name, int partitions, uint64_t batchBytes, sim::Duration linger) {
+    for (double rate : kRates) {
+        KafkaOptions opt;
+        opt.partitions = partitions;
+        opt.batchBytes = batchBytes;
+        opt.lingerTime = linger;
+        auto world = makeKafka(opt);
+        auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
+        printRow(name, stats);
+        if (stats.achievedEventsPerSec < 0.85 * rate) break;
+    }
+}
+
+}  // namespace
+
+int main() {
+    printHeader("Figure 6a: batching strategies, 1 segment/partition, 100B events", "");
+    sweepPravega("pravega-dynamic/1seg", 1);
+    sweepPulsar("pulsar-batch/1part", 1, true);
+    sweepPulsar("pulsar-nobatch/1part", 1, false);
+
+    std::printf("\n");
+    printHeader("Figure 6b: batching strategies, 16 segments/partitions, 100B events", "");
+    sweepPravega("pravega-dynamic/16seg", 16);
+    sweepKafka("kafka-1ms-128KB/16part", 16, 128 * 1024, sim::msec(1));
+    sweepKafka("kafka-10ms-1MB/16part", 16, 1024 * 1024, sim::msec(10));
+    return 0;
+}

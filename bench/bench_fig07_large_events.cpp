@@ -1,0 +1,85 @@
+// Figure 7: write performance for larger (10KB) events (§5.4).
+//
+// Byte throughput is the key metric. Paper shapes: (a) 1 segment —
+// Pravega is capped at ~160 MB/s by LTS (EFS) because tiering is an
+// integral, throttled part of its write path; with the NoOp-LTS test
+// feature it goes much higher; Pulsar reaches ~300 MB/s (its offloader is
+// not in the write path) and Kafka ~70 MB/s (single-partition pipeline).
+// (b) 16 segments — Pravega highest (~350 MB/s paper), Kafka close,
+// Pulsar lower.
+#include <cstdio>
+
+#include "bench/harness/adapters.h"
+
+using namespace pravega;
+using namespace pravega::bench;
+
+namespace {
+
+const double kRatesMBps[] = {20, 50, 100, 150, 200, 280, 360, 440};
+
+WorkloadConfig workload(double mbps) {
+    WorkloadConfig cfg;
+    cfg.eventBytes = 10 * 1024;
+    cfg.eventsPerSec = mbps * 1024 * 1024 / cfg.eventBytes;
+    cfg.useKeys = true;
+    cfg.window = sim::sec(3);
+    cfg.maxEvents = 200'000;
+    return cfg;
+}
+
+template <typename MakeWorld>
+void sweep(const char* name, MakeWorld make) {
+    for (double mbps : kRatesMBps) {
+        auto world = make();
+        auto stats = runOpenLoop(world->exec(), world->producers, workload(mbps));
+        printRow(name, stats);
+        if (stats.achievedMBps < 0.85 * mbps) break;
+    }
+}
+
+}  // namespace
+
+int main() {
+    printHeader("Figure 7a: 10KB events, 1 segment/partition", "");
+    sweep("pravega-efs/1seg", []() {
+        PravegaOptions opt;
+        opt.segments = 1;
+        return makePravega(opt);
+    });
+    sweep("pravega-noop-lts/1seg", []() {
+        PravegaOptions opt;
+        opt.segments = 1;
+        opt.ltsKind = cluster::LtsKind::NoOp;
+        return makePravega(opt);
+    });
+    sweep("pulsar/1part", []() {
+        PulsarOptions opt;
+        opt.partitions = 1;
+        return makePulsar(opt);
+    });
+    sweep("kafka/1part", []() {
+        KafkaOptions opt;
+        opt.partitions = 1;
+        return makeKafka(opt);
+    });
+
+    std::printf("\n");
+    printHeader("Figure 7b: 10KB events, 16 segments/partitions", "");
+    sweep("pravega-efs/16seg", []() {
+        PravegaOptions opt;
+        opt.segments = 16;
+        return makePravega(opt);
+    });
+    sweep("pulsar/16part", []() {
+        PulsarOptions opt;
+        opt.partitions = 16;
+        return makePulsar(opt);
+    });
+    sweep("kafka/16part", []() {
+        KafkaOptions opt;
+        opt.partitions = 16;
+        return makeKafka(opt);
+    });
+    return 0;
+}

@@ -1,0 +1,165 @@
+// Figure 12: historical (catch-up) read performance (§5.7).
+//
+// Writers push 100 MB/s of 10KB events into a 16-segment stream until a
+// backlog accumulates; readers are then released at the stream head and
+// must catch up while writers continue. Paper shapes: Pravega reads
+// historical data from LTS with PARALLEL chunk reads, peaking well above
+// the write rate (731 MB/s in the paper) and catches up; Pulsar's tiered
+// reads never exceed the write rate, so it cannot drain the backlog.
+// (Backlog scaled from the paper's 100 GB to 3 GB: in-memory substrate.)
+#include <cstdio>
+
+#include "bench/harness/adapters.h"
+
+using namespace pravega;
+using namespace pravega::bench;
+
+namespace {
+constexpr double kWriteMBps = 100.0;
+constexpr uint32_t kEventBytes = 10 * 1024;
+constexpr uint64_t kBacklogBytes = 3ULL * 1024 * 1024 * 1024;
+constexpr int kSegments = 16;
+
+/// Drives writers at the fixed rate until `until` (virtual time).
+template <typename World>
+void driveWriters(World& world, sim::Rng& rng, sim::TimePoint until) {
+    double perTick = kWriteMBps * 1024 * 1024 / kEventBytes / 1000.0;  // per ms
+    double carry = 0;
+    size_t rr = 0;
+    while (world.exec().now() < until) {
+        carry += perTick;
+        while (carry >= 1.0) {
+            carry -= 1.0;
+            world.producers[rr].send(rng.nextKey(50000), kEventBytes, {});
+            rr = (rr + 1) % world.producers.size();
+        }
+        world.exec().runFor(sim::msec(1));
+    }
+}
+}  // namespace
+
+int main() {
+    std::printf("# Figure 12: historical read performance (backlog %.1f GB, write %.0f MB/s)\n",
+                kBacklogBytes / (1024.0 * 1024 * 1024), kWriteMBps);
+
+    // ---------------- Pravega ----------------
+    {
+        PravegaOptions opt;
+        opt.segments = kSegments;
+        opt.numWriters = 4;
+        opt.tweak = [](cluster::ClusterConfig& cfg) {
+            cfg.store.container.storage.flushSizeBytes = 4 * 1024 * 1024;
+            cfg.store.container.storage.flushTimeout = sim::msec(500);
+            // Paper: the 100 GB backlog dwarfs the cache, so catch-up reads
+            // come from LTS. Scale the cache below our 3 GB backlog too.
+            cfg.store.cache.maxBuffers = 96;  // 192 MB per store
+        };
+        auto world = makePravega(opt);
+        sim::Rng rng(7);
+
+        // Build the backlog (no readers yet).
+        sim::Duration buildTime =
+            sim::sec(static_cast<double>(kBacklogBytes) / (kWriteMBps * 1024 * 1024));
+        driveWriters(*world, rng, world->exec().now() + buildTime);
+        world->exec().runFor(sim::sec(2));  // let tiering drain
+
+        // Release readers at the head; writers continue.
+        client::ReaderConfig rcfg;
+        rcfg.fetchBytes = 4 * 1024 * 1024;  // catch-up readers fetch big
+        auto group = world->cluster->makeReaderGroup("catchup", {"bench/stream"}, rcfg);
+        std::vector<std::unique_ptr<client::EventReader>> readers;
+        for (int i = 0; i < kSegments; ++i) {
+            readers.push_back(group.value()->createReader("r" + std::to_string(i),
+                                                          world->cluster->newClientHost()));
+        }
+        struct Drain {
+            uint64_t bytes = 0;
+        };
+        auto drain = std::make_shared<Drain>();
+        auto alive = world->alive;
+        std::function<void(client::EventReader*)> pump = [&, drain,
+                                                          alive](client::EventReader* r) {
+            r->readNextEvent().onComplete([&, drain, alive,
+                                           r](const Result<client::EventRead>& res) {
+                if (!*alive || !res.isOk()) return;
+                drain->bytes += res.value().payload.size();
+                pump(r);
+            });
+        };
+        world->exec().runFor(sim::sec(1));
+        for (auto& r : readers) pump(r.get());
+
+        std::printf("## pravega: time series (1s buckets)\n");
+        std::printf("%6s %12s %12s %14s\n", "t(s)", "write(MB/s)", "read(MB/s)", "backlog(MB)");
+        uint64_t lastDrain = 0;
+        uint64_t written = kBacklogBytes;
+        double peakRead = 0;
+        for (int t = 0; t < 60; ++t) {
+            driveWriters(*world, rng, world->exec().now() + sim::sec(1));
+            written += static_cast<uint64_t>(kWriteMBps * 1024 * 1024);
+            double readMBps = static_cast<double>(drain->bytes - lastDrain) / (1024 * 1024);
+            peakRead = std::max(peakRead, readMBps);
+            lastDrain = drain->bytes;
+            double backlogMB =
+                (static_cast<double>(written) - static_cast<double>(drain->bytes)) /
+                (1024 * 1024);
+            std::printf("%6d %12.1f %12.1f %14.1f\n", t, kWriteMBps, readMBps, backlogMB);
+            std::fflush(stdout);
+            if (backlogMB < 50) {
+                std::printf("## pravega: CAUGHT UP at t=%d s (peak read %.1f MB/s)\n", t,
+                            peakRead);
+                break;
+            }
+        }
+        if (peakRead > 0) std::printf("## pravega: peak read throughput %.1f MB/s\n", peakRead);
+    }
+
+    // ---------------- Pulsar ----------------
+    {
+        PulsarOptions opt;
+        opt.partitions = kSegments;
+        opt.numProducers = 4;
+        opt.offloadEnabled = true;
+        auto world = makePulsar(opt);
+        sim::Rng rng(7);
+
+        sim::Duration buildTime =
+            sim::sec(static_cast<double>(kBacklogBytes) / (kWriteMBps * 1024 * 1024));
+        driveWriters(*world, rng, world->exec().now() + buildTime);
+        world->exec().runFor(sim::sec(2));
+
+        auto drained = std::make_shared<uint64_t>(0);
+        std::vector<std::unique_ptr<baselines::PulsarConsumer>> consumers;
+        for (int p = 0; p < kSegments; ++p) {
+            consumers.push_back(world->cluster->makeConsumer(
+                900 + p, "bench", p, /*fromEarliest=*/true,
+                [drained](uint32_t, uint64_t bytes, sim::Duration) { *drained += bytes; }));
+        }
+
+        std::printf("## pulsar: time series (1s buckets)\n");
+        std::printf("%6s %12s %12s %14s\n", "t(s)", "write(MB/s)", "read(MB/s)", "backlog(MB)");
+        uint64_t lastDrain = 0;
+        uint64_t written = kBacklogBytes;
+        double peakRead = 0;
+        bool caughtUp = false;
+        for (int t = 0; t < 60; ++t) {
+            driveWriters(*world, rng, world->exec().now() + sim::sec(1));
+            written += static_cast<uint64_t>(kWriteMBps * 1024 * 1024);
+            double readMBps = static_cast<double>(*drained - lastDrain) / (1024 * 1024);
+            peakRead = std::max(peakRead, readMBps);
+            lastDrain = *drained;
+            double backlogMB = (static_cast<double>(written) - static_cast<double>(*drained)) /
+                               (1024 * 1024);
+            std::printf("%6d %12.1f %12.1f %14.1f\n", t, kWriteMBps, readMBps, backlogMB);
+            std::fflush(stdout);
+            if (backlogMB < 50) {
+                std::printf("## pulsar: caught up at t=%d s\n", t);
+                caughtUp = true;
+                break;
+            }
+        }
+        std::printf("## pulsar: peak read throughput %.1f MB/s%s\n", peakRead,
+                    caughtUp ? "" : " — NEVER caught up (read <= write rate)");
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) for the core data structures: the
+// Fig 4 block cache, the AVL read index, serialization, and the latency
+// histogram used by the harness.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/harness/histogram.h"
+#include "common/serde.h"
+#include "segmentstore/avl_map.h"
+#include "segmentstore/cache.h"
+#include "sim/random.h"
+
+using namespace pravega;
+using namespace pravega::segmentstore;
+
+namespace {
+
+BlockCache::Config cacheCfg() {
+    BlockCache::Config cfg;
+    cfg.blockSize = 4096;
+    cfg.blocksPerBuffer = 512;
+    cfg.maxBuffers = 512;  // 1 GB cap
+    return cfg;
+}
+
+void BM_CacheInsertSmall(benchmark::State& state) {
+    BlockCache cache(cacheCfg());
+    Bytes data(static_cast<size_t>(state.range(0)), 0xAB);
+    std::vector<CacheAddress> addrs;
+    for (auto _ : state) {
+        auto a = cache.insert(BytesView(data));
+        if (!a.isOk()) {
+            for (CacheAddress x : addrs) cache.remove(x);
+            addrs.clear();
+            a = cache.insert(BytesView(data));
+        }
+        addrs.push_back(a.value());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CacheInsertSmall)->Arg(100)->Arg(1024)->Arg(65536);
+
+void BM_CacheAppendChain(benchmark::State& state) {
+    // The Fig 4 design point: O(1) appends via the last-block address.
+    BlockCache cache(cacheCfg());
+    Bytes data(static_cast<size_t>(state.range(0)), 0xCD);
+    auto addr = cache.insert(BytesView(data)).value();
+    uint64_t appended = 0;
+    for (auto _ : state) {
+        auto r = cache.append(addr, BytesView(data));
+        if (r.isOk()) {
+            addr = r.value();
+        } else {
+            cache.remove(addr);
+            addr = cache.insert(BytesView(data)).value();
+        }
+        appended += data.size();
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(appended));
+}
+BENCHMARK(BM_CacheAppendChain)->Arg(100)->Arg(4096);
+
+void BM_CacheGet(benchmark::State& state) {
+    BlockCache cache(cacheCfg());
+    Bytes data(static_cast<size_t>(state.range(0)), 0xEF);
+    auto addr = cache.insert(BytesView(data)).value();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(addr));
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CacheGet)->Arg(1024)->Arg(65536);
+
+void BM_AvlInsert(benchmark::State& state) {
+    AvlMap<int64_t, int64_t> tree;
+    int64_t k = 0;
+    for (auto _ : state) {
+        tree.insert(k, k);
+        k += 4096;  // read-index pattern: monotonically increasing offsets
+        if (tree.size() > 100000) tree.clear();
+    }
+}
+BENCHMARK(BM_AvlInsert);
+
+void BM_AvlFloorLookup(benchmark::State& state) {
+    AvlMap<int64_t, int64_t> tree;
+    for (int64_t i = 0; i < state.range(0); ++i) tree.insert(i * 4096, i);
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        int64_t key = static_cast<int64_t>(rng.nextBounded(
+            static_cast<uint64_t>(state.range(0)) * 4096));
+        benchmark::DoNotOptimize(tree.floorEntry(key));
+    }
+}
+BENCHMARK(BM_AvlFloorLookup)->Arg(1024)->Arg(65536);
+
+void BM_StdMapFloorLookup(benchmark::State& state) {
+    // Comparison point for the custom AVL tree.
+    std::map<int64_t, int64_t> tree;
+    for (int64_t i = 0; i < state.range(0); ++i) tree[i * 4096] = i;
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        int64_t key = static_cast<int64_t>(rng.nextBounded(
+            static_cast<uint64_t>(state.range(0)) * 4096));
+        auto it = tree.upper_bound(key);
+        if (it != tree.begin()) --it;
+        benchmark::DoNotOptimize(it);
+    }
+}
+BENCHMARK(BM_StdMapFloorLookup)->Arg(1024)->Arg(65536);
+
+void BM_SerdeWriteOps(benchmark::State& state) {
+    Bytes payload(100, 0x11);
+    for (auto _ : state) {
+        Bytes out;
+        BinaryWriter w(out);
+        w.u8(1);
+        w.u64(42);
+        w.i64(12345678);
+        w.bytes(BytesView(payload));
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_SerdeWriteOps);
+
+void BM_HistogramRecord(benchmark::State& state) {
+    bench::LatencyHistogram hist;
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        hist.record(static_cast<sim::Duration>(rng.nextBounded(100000000)));
+    }
+    benchmark::DoNotOptimize(hist.percentileMs(95));
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace

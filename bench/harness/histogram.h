@@ -1,0 +1,69 @@
+// Log-bucketed latency histogram (HdrHistogram-style): constant memory,
+// cheap recording, percentile queries for the latency-vs-throughput curves.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace pravega::bench {
+
+class LatencyHistogram {
+public:
+    void record(sim::Duration nanos) {
+        if (nanos < 0) nanos = 0;
+        ++buckets_[bucketOf(static_cast<uint64_t>(nanos))];
+        ++count_;
+        sum_ += static_cast<double>(nanos);
+        max_ = std::max(max_, nanos);
+    }
+
+    uint64_t count() const { return count_; }
+    double meanMs() const { return count_ ? sum_ / static_cast<double>(count_) / 1e6 : 0; }
+    double maxMs() const { return static_cast<double>(max_) / 1e6; }
+
+    /// Approximate percentile (upper bound of the containing bucket), ms.
+    double percentileMs(double p) const {
+        if (count_ == 0) return 0;
+        uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1));
+        uint64_t seen = 0;
+        for (size_t i = 0; i < buckets_.size(); ++i) {
+            seen += buckets_[i];
+            if (seen > rank) return bucketUpperNs(i) / 1e6;
+        }
+        return maxMs();
+    }
+
+    void reset() {
+        buckets_.fill(0);
+        count_ = 0;
+        sum_ = 0;
+        max_ = 0;
+    }
+
+private:
+    // 20 ns .. ~100 s in 12.5% steps: 8 sub-buckets per octave.
+    static constexpr size_t kBuckets = 272;
+    static constexpr double kBase = 20.0;
+
+    static size_t bucketOf(uint64_t nanos) {
+        if (nanos < kBase) return 0;
+        double octaves = std::log2(static_cast<double>(nanos) / kBase);
+        size_t b = static_cast<size_t>(octaves * 8.0) + 1;
+        return std::min(b, kBuckets - 1);
+    }
+    static double bucketUpperNs(size_t b) {
+        if (b == 0) return kBase;
+        return kBase * std::pow(2.0, static_cast<double>(b) / 8.0);
+    }
+
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+    double sum_ = 0;
+    sim::Duration max_ = 0;
+};
+
+}  // namespace pravega::bench

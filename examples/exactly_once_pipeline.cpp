@@ -1,0 +1,82 @@
+// Exactly-once pipeline example (§3.2): a writer with flaky connectivity
+// retransmits aggressively, a segment store deduplicates by
+// ⟨writer id, event number⟩, and a failover (segment-store crash, §4.4)
+// hits mid-stream — yet the reader sees every event exactly once, in
+// per-key order.
+//
+//   $ ./example_exactly_once_pipeline
+#include <cstdio>
+#include <map>
+
+#include "client/event_reader.h"
+#include "cluster/pravega_cluster.h"
+
+using namespace pravega;
+
+int main() {
+    cluster::PravegaCluster cluster;
+    controller::StreamConfig config;
+    config.initialSegments = 2;
+    cluster.createStream("bank", "transfers", config);
+
+    auto writer = cluster.makeWriter("bank/transfers");
+    std::map<std::string, int> written;
+    int acked = 0;
+
+    auto transfer = [&](const std::string& account) {
+        int seq = written[account]++;
+        writer->writeEvent(account, toBytes(account + "#" + std::to_string(seq)),
+                           [&](Status s) { acked += s.isOk(); });
+    };
+
+    // Phase 1: normal traffic with periodic connection drops (every drop
+    // forces retransmission of unacknowledged blocks).
+    for (int i = 0; i < 300; ++i) {
+        transfer("acct-" + std::to_string(i % 6));
+        if (i % 60 == 30) writer->simulateReconnect();
+    }
+    writer->flush();
+    cluster.runUntilIdle();
+
+    // Phase 2: crash a segment store; containers fail over and recover
+    // from the WAL; writers keep going against the new owners.
+    std::printf("crashing segment store 1 (containers fail over)...\n");
+    cluster.crashStore(1);
+    cluster.runUntilIdle();
+    auto writer2 = cluster.makeWriter("bank/transfers");
+    for (int i = 0; i < 100; ++i) {
+        std::string account = "acct-" + std::to_string(i % 6);
+        int seq = written[account]++;
+        writer2->writeEvent(account, toBytes(account + "#" + std::to_string(seq)),
+                            [&](Status s) { acked += s.isOk(); });
+    }
+    writer2->flush();
+    cluster.runUntilIdle();
+    std::printf("sent 400 transfers (with reconnects + failover), %d acked\n", acked);
+
+    // Verify: every transfer exactly once, in per-account order.
+    auto group = cluster.makeReaderGroup("audit", {"bank/transfers"});
+    auto reader = group.value()->createReader("auditor", cluster.newClientHost());
+    std::map<std::string, int> seen;
+    int total = 0;
+    bool ordered = true;
+    while (total < 400) {
+        auto fut = reader->readNextEvent();
+        if (!cluster.runUntil([&]() { return fut.isReady(); }, sim::sec(5))) break;
+        if (!fut.result().isOk()) break;
+        std::string s = toString(BytesView(fut.result().value().payload));
+        auto hash = s.find('#');
+        std::string account = s.substr(0, hash);
+        int seq = std::stoi(s.substr(hash + 1));
+        if (seq != seen[account]) {
+            std::printf("ORDER/DUPLICATION VIOLATION: %s got %d want %d\n", account.c_str(),
+                        seq, seen[account]);
+            ordered = false;
+        }
+        seen[account] = seq + 1;
+        ++total;
+    }
+    std::printf("audited %d transfers: %s\n", total,
+                ordered && total == 400 ? "exactly-once, in order" : "FAILED");
+    return (ordered && total == 400) ? 0 : 1;
+}

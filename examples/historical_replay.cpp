@@ -1,0 +1,73 @@
+// Historical replay example: the tiered-storage story (§4.3, §5.7).
+//
+// A producer writes a day's worth of market ticks; tiering moves the data
+// to long-term storage and truncates the WAL. A new reader group then
+// replays the WHOLE stream from the head — transparently served from LTS —
+// while fresh ticks keep arriving.
+//
+//   $ ./example_historical_replay
+#include <cstdio>
+
+#include "client/event_reader.h"
+#include "cluster/pravega_cluster.h"
+#include "sim/random.h"
+
+using namespace pravega;
+
+int main() {
+    cluster::ClusterConfig cc;
+    cc.store.container.storage.flushSizeBytes = 64 * 1024;
+    cc.store.container.storage.flushTimeout = sim::msec(200);
+    cc.store.container.checkpointEveryOps = 500;
+    cluster::PravegaCluster cluster(cc);
+
+    controller::StreamConfig config;
+    config.initialSegments = 2;
+    cluster.createStream("markets", "ticks", config);
+
+    auto writer = cluster.makeWriter("markets/ticks");
+    const int historical = 2000;
+    for (int i = 0; i < historical; ++i) {
+        std::string symbol = "SYM" + std::to_string(i % 20);
+        writer->writeEvent(symbol, toBytes(symbol + ":" + std::to_string(100.0 + i % 50)));
+        if (i % 200 == 0) {
+            writer->flush();
+            cluster.runFor(sim::msec(300));  // let tiering work
+        }
+    }
+    writer->flush();
+    cluster.runUntilIdle();
+    cluster.runFor(sim::sec(2));
+
+    // Show the tiering state: data in LTS, WAL truncated.
+    uint64_t ltsBytes = cluster.lts().totalBytes();
+    uint64_t walTruncations = 0;
+    for (auto* store : cluster.stores()) {
+        for (uint32_t c : store->containerIds()) {
+            walTruncations += store->container(c)->walTruncations();
+        }
+    }
+    std::printf("wrote %d events; LTS holds %llu bytes; WAL truncated %llu times\n",
+                historical, static_cast<unsigned long long>(ltsBytes),
+                static_cast<unsigned long long>(walTruncations));
+
+    // Replay everything from the head with a fresh reader group while new
+    // ticks keep arriving: same API for historical and tail data.
+    auto group = cluster.makeReaderGroup("replay", {"markets/ticks"});
+    auto reader = group.value()->createReader("replayer", cluster.newClientHost());
+
+    int replayed = 0;
+    while (replayed < historical) {
+        auto fut = reader->readNextEvent();
+        if (!cluster.runUntil([&]() { return fut.isReady(); }, sim::sec(5))) break;
+        if (!fut.result().isOk()) break;
+        ++replayed;
+        if (replayed % 500 == 0) {
+            // Live writes continue during the replay.
+            writer->writeEvent("SYM0", toBytes("SYM0:live"));
+            writer->flush();
+        }
+    }
+    std::printf("replayed %d/%d historical events (plus live tail)\n", replayed, historical);
+    return replayed >= historical ? 0 : 1;
+}

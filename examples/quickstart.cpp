@@ -1,0 +1,68 @@
+// Quickstart: stand up a Pravega cluster, create a stream, write events
+// with routing keys, and read them back with a reader group.
+//
+//   $ ./example_quickstart
+//
+// Everything runs in simulated (virtual) time inside this process: the
+// cluster models 3 segment stores, 3 bookies with journal drives, and an
+// object-store LTS, per the paper's Table 1 deployment.
+#include <cstdio>
+
+#include "client/event_reader.h"
+#include "cluster/pravega_cluster.h"
+
+using namespace pravega;
+
+int main() {
+    // 1. Deploy a cluster (3 segment stores + 3 bookies + simulated LTS).
+    cluster::PravegaCluster cluster;
+
+    // 2. Create a scope and a stream with 4 parallel segments.
+    controller::StreamConfig config;
+    config.initialSegments = 4;
+    Status created = cluster.createStream("examples", "quickstart", config);
+    if (!created.isOk()) {
+        std::fprintf(stderr, "create stream: %s\n", created.toString().c_str());
+        return 1;
+    }
+    std::printf("created stream examples/quickstart with %d segments\n",
+                config.initialSegments);
+
+    // 3. Write events. Events with the same routing key stay ordered.
+    auto writer = cluster.makeWriter("examples/quickstart");
+    int acked = 0;
+    for (int i = 0; i < 100; ++i) {
+        std::string key = "device-" + std::to_string(i % 5);
+        std::string event = key + " reading #" + std::to_string(i / 5);
+        writer->writeEvent(key, toBytes(event), [&](Status s) { acked += s.isOk(); });
+    }
+    writer->flush();
+    cluster.runUntilIdle();
+    std::printf("wrote 100 events, %d acknowledged durable\n", acked);
+
+    // 4. Read them back through a reader group (two coordinated readers).
+    auto group = cluster.makeReaderGroup("quickstart-group", {"examples/quickstart"});
+    auto reader1 = group.value()->createReader("reader-1", cluster.newClientHost());
+    auto reader2 = group.value()->createReader("reader-2", cluster.newClientHost());
+
+    int total = 0;
+    auto readSome = [&](client::EventReader& reader) {
+        auto fut = reader.readNextEvent();
+        if (!cluster.runUntil([&]() { return fut.isReady(); }, sim::sec(2))) return false;
+        if (!fut.result().isOk()) return false;
+        if (total < 5 || total >= 95) {
+            std::printf("  [%s] %s\n", reader.name().c_str(),
+                        toString(BytesView(fut.result().value().payload)).c_str());
+        } else if (total == 5) {
+            std::printf("  ...\n");
+        }
+        ++total;
+        return true;
+    };
+    while (total < 100) {
+        if (!readSome(*reader1) && !readSome(*reader2)) break;
+    }
+    std::printf("read back %d events across %zu+%zu segments\n", total,
+                reader1->assignedSegments(), reader2->assignedSegments());
+    return total == 100 ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+// Event wire framing. Pravega does not track event boundaries internally
+// (§2.1); the client library frames each event as [u32 length][payload]
+// when appending and parses the same framing when reading.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace pravega::client {
+
+constexpr size_t kEventHeaderBytes = 4;
+
+inline void encodeEvent(Bytes& out, BytesView payload) {
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    size_t pos = out.size();
+    out.resize(pos + kEventHeaderBytes + payload.size());
+    std::memcpy(out.data() + pos, &len, kEventHeaderBytes);
+    if (!payload.empty()) {
+        std::memcpy(out.data() + pos + kEventHeaderBytes, payload.data(), payload.size());
+    }
+}
+
+/// Parses one event starting at `pos`; returns the payload view and
+/// advances `pos`, or nullopt when the buffer holds only a partial event.
+inline std::optional<BytesView> decodeEvent(BytesView buffer, size_t& pos) {
+    if (pos + kEventHeaderBytes > buffer.size()) return std::nullopt;
+    uint32_t len = 0;
+    std::memcpy(&len, buffer.data() + pos, kEventHeaderBytes);
+    if (pos + kEventHeaderBytes + len > buffer.size()) return std::nullopt;
+    BytesView payload = buffer.subspan(pos + kEventHeaderBytes, len);
+    pos += kEventHeaderBytes + len;
+    return payload;
+}
+
+}  // namespace pravega::client

@@ -1,0 +1,100 @@
+#include "client/segment_input_stream.h"
+
+#include "client/framing.h"
+#include "common/logging.h"
+
+namespace pravega::client {
+
+SegmentInputStream::SegmentInputStream(sim::Executor& exec, sim::Network& net,
+                                       sim::HostId clientHost, controller::SegmentUri uri,
+                                       int64_t startOffset, ReaderConfig cfg,
+                                       std::function<void()> onData)
+    : exec_(exec),
+      net_(net),
+      clientHost_(clientHost),
+      uri_(std::move(uri)),
+      cfg_(cfg),
+      onData_(std::move(onData)),
+      bufferStart_(startOffset),
+      fetchOffset_(startOffset),
+      alive_(std::make_shared<bool>(true)) {
+    ensureFetching();
+}
+
+SegmentInputStream::~SegmentInputStream() { *alive_ = false; }
+
+std::optional<Bytes> SegmentInputStream::readNextEvent() {
+    auto payload = decodeEvent(BytesView(buffer_), parsePos_);
+    if (!payload) {
+        ensureFetching();
+        return std::nullopt;
+    }
+    Bytes out(payload->begin(), payload->end());
+    // Compact the buffer once fully parsed to bound memory.
+    if (parsePos_ >= buffer_.size()) {
+        bufferStart_ += static_cast<int64_t>(buffer_.size());
+        buffer_.clear();
+        parsePos_ = 0;
+        ensureFetching();
+    }
+    return out;
+}
+
+void SegmentInputStream::ensureFetching() {
+    if (fetching_ || endOfSegment_ || failed_) return;
+    fetching_ = true;
+    auto alive = alive_;
+    uint64_t wire = cfg_.wireOverheadBytes;
+    net_.send(clientHost_, uri_.store->host(), wire, [this, alive]() {
+        if (!*alive) return;
+        auto* container = uri_.store->container(uri_.containerId);
+        if (!container) {
+            failed_ = true;
+            fetching_ = false;
+            if (onData_) onData_();
+            return;
+        }
+        uri_.store->chargeRequest(0).thenAsync([this, container](const sim::Unit&) {
+            return container->read(uri_.record.id, fetchOffset_,
+                                   static_cast<int64_t>(cfg_.fetchBytes));
+        })
+        .onComplete([this, alive](const Result<segmentstore::ReadResult>& r) {
+            if (!*alive) return;
+            uint64_t respBytes =
+                cfg_.wireOverheadBytes + (r.isOk() ? r.value().data.size() : 0);
+            net_.send(uri_.store->host(), clientHost_, respBytes, [this, alive, r]() {
+                if (!*alive) return;
+                onFetchComplete(r);
+            });
+        });
+    });
+}
+
+void SegmentInputStream::onFetchComplete(const Result<segmentstore::ReadResult>& r) {
+    fetching_ = false;
+    if (!r.isOk()) {
+        // Container offline mid-read is transient during failover; retry.
+        if (r.code() == Err::ContainerOffline || r.code() == Err::Timeout) {
+            exec_.schedule(sim::msec(10), [this, alive = alive_]() {
+                if (*alive) ensureFetching();
+            });
+            return;
+        }
+        failed_ = true;
+        PLOG_WARN("reader", "segment read failed: %s", r.status().toString().c_str());
+        if (onData_) onData_();
+        return;
+    }
+    const auto& res = r.value();
+    if (!res.data.empty()) {
+        append(buffer_, BytesView(res.data));
+        fetchOffset_ += static_cast<int64_t>(res.data.size());
+    }
+    if (res.endOfSegment) endOfSegment_ = true;
+    if (onData_) onData_();
+    // Keep the pipe primed for tail reads unless we are done or the buffer
+    // already holds plenty of unparsed data.
+    if (!endOfSegment_ && buffer_.size() - parsePos_ < cfg_.fetchBytes) ensureFetching();
+}
+
+}  // namespace pravega::client

@@ -1,0 +1,114 @@
+#include "cluster/coordination.h"
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace pravega::cluster {
+
+Result<int64_t> CoordinationStore::create(const std::string& key, Bytes value) {
+    if (nodes_.contains(key)) return Status(Err::AlreadyExists, key);
+    nodes_[key] = Node{std::move(value), 1};
+    notify(key);
+    return static_cast<int64_t>(1);
+}
+
+Result<int64_t> CoordinationStore::set(const std::string& key, Bytes value,
+                                       int64_t expectedVersion) {
+    auto it = nodes_.find(key);
+    if (it == nodes_.end()) {
+        if (expectedVersion > 0) return Status(Err::BadVersion, key);
+        nodes_[key] = Node{std::move(value), 1};
+        notify(key);
+        return static_cast<int64_t>(1);
+    }
+    if (expectedVersion >= 0 && it->second.version != expectedVersion) {
+        return Status(Err::BadVersion, key);
+    }
+    it->second.value = std::move(value);
+    ++it->second.version;
+    notify(key);
+    return it->second.version;
+}
+
+Result<CoordinationStore::Node> CoordinationStore::get(const std::string& key) const {
+    auto it = nodes_.find(key);
+    if (it == nodes_.end()) return Status(Err::NotFound, key);
+    return it->second;
+}
+
+Status CoordinationStore::remove(const std::string& key) {
+    if (nodes_.erase(key) == 0) return Status(Err::NotFound, key);
+    notify(key);
+    return Status::ok();
+}
+
+std::vector<std::string> CoordinationStore::list(const std::string& prefix) const {
+    std::vector<std::string> out;
+    for (auto it = nodes_.lower_bound(prefix); it != nodes_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+        out.push_back(it->first);
+    }
+    return out;
+}
+
+void CoordinationStore::watch(std::string prefix, Watcher watcher) {
+    watchers_.emplace_back(std::move(prefix), std::move(watcher));
+}
+
+void CoordinationStore::notify(const std::string& key) {
+    for (const auto& [prefix, watcher] : watchers_) {
+        if (key.compare(0, prefix.size(), prefix) == 0) watcher(key);
+    }
+}
+
+Status ContainerRegistry::assign(uint32_t containerId, segmentstore::SegmentStore* store) {
+    std::string key = "containers/" + std::to_string(containerId);
+    Bytes value;
+    BinaryWriter w(value);
+    w.u32(static_cast<uint32_t>(store->host()));
+    store_.set(key, std::move(value));
+    owners_[containerId] = store;
+    return store->addContainer(containerId);
+}
+
+Status ContainerRegistry::rebalance(const std::vector<segmentstore::SegmentStore*>& stores) {
+    if (stores.empty()) return Status(Err::InvalidArgument, "no stores");
+    for (uint32_t c = 0; c < containerCount_; ++c) {
+        segmentstore::SegmentStore* target = stores[c % stores.size()];
+        auto it = owners_.find(c);
+        if (it != owners_.end() && it->second == target) continue;
+        if (it != owners_.end() && it->second != nullptr) {
+            it->second->removeContainer(c);  // graceful handoff
+        }
+        Status s = assign(c, target);
+        if (!s) return s;
+    }
+    return Status::ok();
+}
+
+Status ContainerRegistry::failStore(segmentstore::SegmentStore* crashed,
+                                    const std::vector<segmentstore::SegmentStore*>& survivors) {
+    if (survivors.empty()) return Status(Err::InvalidArgument, "no survivors");
+    size_t next = 0;
+    for (auto& [containerId, owner] : owners_) {
+        if (owner != crashed) continue;
+        // No graceful shutdown: the survivor's recovery fences the WAL and
+        // the crashed instance's subsequent writes fail (§4.4).
+        Status s = assign(containerId, survivors[next % survivors.size()]);
+        if (!s) return s;
+        ++next;
+    }
+    return Status::ok();
+}
+
+segmentstore::SegmentStore* ContainerRegistry::ownerOf(uint32_t containerId) const {
+    auto it = owners_.find(containerId);
+    return it == owners_.end() ? nullptr : it->second;
+}
+
+segmentstore::SegmentContainer* ContainerRegistry::containerFor(uint32_t containerId) const {
+    auto* store = ownerOf(containerId);
+    return store ? store->container(containerId) : nullptr;
+}
+
+}  // namespace pravega::cluster

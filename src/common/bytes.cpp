@@ -1,0 +1,16 @@
+#include "common/bytes.h"
+
+#include <algorithm>
+
+namespace pravega {
+
+SharedBuf SharedBuf::slice(size_t offset, size_t len) const {
+    SharedBuf out;
+    if (!storage_ || offset >= size_) return out;
+    out.storage_ = storage_;
+    out.offset_ = offset_ + offset;
+    out.size_ = std::min(len, size_ - offset);
+    return out;
+}
+
+}  // namespace pravega

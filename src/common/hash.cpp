@@ -1,0 +1,32 @@
+#include "common/hash.h"
+
+namespace pravega {
+
+uint64_t fnv1a64(std::string_view data) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+uint64_t mix64(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double keyHash01(std::string_view routingKey) {
+    // Top 53 bits → exactly representable double in [0, 1).
+    uint64_t h = fnv1a64(routingKey);
+    return static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+}
+
+uint32_t containerFor(uint64_t segmentId, uint32_t containerCount) {
+    if (containerCount == 0) return 0;
+    return static_cast<uint32_t>(mix64(segmentId) % containerCount);
+}
+
+}  // namespace pravega

@@ -1,0 +1,26 @@
+// Hashing: FNV-1a 64-bit and the routing-key hash h(k) ∈ [0, 1).
+//
+// Pravega maps routing keys onto the unit interval; stream segments own
+// disjoint sub-ranges of [0,1) (§2.1). The same family is used for the
+// stateless segment → segment-container assignment (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pravega {
+
+/// FNV-1a 64-bit over an arbitrary byte string.
+uint64_t fnv1a64(std::string_view data);
+
+/// Mixes a 64-bit value (splitmix64 finalizer); good avalanche for ids.
+uint64_t mix64(uint64_t x);
+
+/// Routing-key hash onto the unit interval [0, 1).
+double keyHash01(std::string_view routingKey);
+
+/// Stateless segment-id → container assignment over `containerCount`
+/// containers (uniform hash known by the control plane, §2.2).
+uint32_t containerFor(uint64_t segmentId, uint32_t containerCount);
+
+}  // namespace pravega

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <vector>
+
+namespace pravega {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* levelName(LogLevel l) {
+    switch (l) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) { g_level = level; }
+
+void logMessage(LogLevel level, const char* component, const std::string& msg) {
+    std::fprintf(stderr, "[%s] %s: %s\n", levelName(level), component, msg.c_str());
+}
+
+namespace detail {
+std::string formatLog(const char* fmt, ...) {
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        std::vector<char> buf(static_cast<size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args);
+        out.assign(buf.data(), static_cast<size_t>(n));
+    }
+    va_end(args);
+    return out;
+}
+}  // namespace detail
+
+}  // namespace pravega

@@ -1,0 +1,33 @@
+// Minimal leveled logger. Silent by default so tests and the DES benches
+// stay fast; raise the level for debugging.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace pravega {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+void logMessage(LogLevel level, const char* component, const std::string& msg);
+
+namespace detail {
+std::string formatLog(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define PLOG(level, component, ...)                                             \
+    do {                                                                         \
+        if (static_cast<int>(level) >= static_cast<int>(::pravega::logLevel()))  \
+            ::pravega::logMessage(level, component,                              \
+                                  ::pravega::detail::formatLog(__VA_ARGS__));    \
+    } while (0)
+
+#define PLOG_DEBUG(component, ...) PLOG(::pravega::LogLevel::Debug, component, __VA_ARGS__)
+#define PLOG_INFO(component, ...) PLOG(::pravega::LogLevel::Info, component, __VA_ARGS__)
+#define PLOG_WARN(component, ...) PLOG(::pravega::LogLevel::Warn, component, __VA_ARGS__)
+#define PLOG_ERROR(component, ...) PLOG(::pravega::LogLevel::Error, component, __VA_ARGS__)
+
+}  // namespace pravega

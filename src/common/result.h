@@ -1,0 +1,121 @@
+// Result<T>: error handling without exceptions on the data path.
+//
+// The Core Guidelines recommend exceptions for exceptional conditions only;
+// in a storage engine, conditions like "segment sealed" or "conditional
+// append rejected" are normal control flow, so they travel as values.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pravega {
+
+enum class Err {
+    Ok = 0,
+    NotFound,             // segment/stream/key does not exist
+    AlreadyExists,        // create on an existing object
+    Sealed,               // append to a sealed segment
+    BadOffset,            // conditional append offset mismatch
+    BadVersion,           // KV conditional-update version mismatch
+    Fenced,               // WAL writer fenced by a newer owner
+    Truncated,            // read before the truncation point
+    ContainerOffline,     // segment container shut down / recovering
+    Throttled,            // rejected due to backpressure
+    CacheFull,            // no free cache blocks; caller must evict
+    InvalidArgument,
+    IoError,
+    Timeout,
+    Cancelled,
+};
+
+const char* errName(Err e);
+
+class Status {
+public:
+    Status() : code_(Err::Ok) {}
+    Status(Err code, std::string msg = {}) : code_(code), msg_(std::move(msg)) {}
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return code_ == Err::Ok; }
+    explicit operator bool() const { return isOk(); }
+    Err code() const { return code_; }
+    const std::string& message() const { return msg_; }
+    std::string toString() const {
+        std::string s = errName(code_);
+        if (!msg_.empty()) {
+            s += ": ";
+            s += msg_;
+        }
+        return s;
+    }
+
+    friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+private:
+    Err code_;
+    std::string msg_;
+};
+
+template <typename T>
+class Result {
+public:
+    // Intentionally implicit: lets functions `return value;` / `return status;`.
+    Result(T value) : v_(std::move(value)) {}
+    Result(Status status) : v_(std::move(status)) {
+        assert(!std::get<Status>(v_).isOk() && "Ok status requires a value");
+    }
+    Result(Err code, std::string msg = {}) : Result(Status(code, std::move(msg))) {}
+
+    bool isOk() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return isOk(); }
+
+    const T& value() const& {
+        assert(isOk());
+        return std::get<T>(v_);
+    }
+    T& value() & {
+        assert(isOk());
+        return std::get<T>(v_);
+    }
+    T&& value() && {
+        assert(isOk());
+        return std::move(std::get<T>(v_));
+    }
+
+    Status status() const { return isOk() ? Status::ok() : std::get<Status>(v_); }
+    Err code() const { return isOk() ? Err::Ok : std::get<Status>(v_).code(); }
+
+    const T& valueOr(const T& fallback) const {
+        return isOk() ? std::get<T>(v_) : fallback;
+    }
+
+private:
+    std::variant<T, Status> v_;
+};
+
+inline const char* errName(Err e) {
+    switch (e) {
+        case Err::Ok: return "Ok";
+        case Err::NotFound: return "NotFound";
+        case Err::AlreadyExists: return "AlreadyExists";
+        case Err::Sealed: return "Sealed";
+        case Err::BadOffset: return "BadOffset";
+        case Err::BadVersion: return "BadVersion";
+        case Err::Fenced: return "Fenced";
+        case Err::Truncated: return "Truncated";
+        case Err::ContainerOffline: return "ContainerOffline";
+        case Err::Throttled: return "Throttled";
+        case Err::CacheFull: return "CacheFull";
+        case Err::InvalidArgument: return "InvalidArgument";
+        case Err::IoError: return "IoError";
+        case Err::Timeout: return "Timeout";
+        case Err::Cancelled: return "Cancelled";
+    }
+    return "Unknown";
+}
+
+}  // namespace pravega

@@ -1,0 +1,120 @@
+#include "common/serde.h"
+
+#include <bit>
+#include <cstring>
+
+namespace pravega {
+
+void BinaryWriter::u16(uint16_t v) {
+    u8(static_cast<uint8_t>(v));
+    u8(static_cast<uint8_t>(v >> 8));
+}
+
+void BinaryWriter::u32(uint32_t v) {
+    u16(static_cast<uint16_t>(v));
+    u16(static_cast<uint16_t>(v >> 16));
+}
+
+void BinaryWriter::u64(uint64_t v) {
+    u32(static_cast<uint32_t>(v));
+    u32(static_cast<uint32_t>(v >> 32));
+}
+
+void BinaryWriter::f64(double v) {
+    u64(std::bit_cast<uint64_t>(v));
+}
+
+void BinaryWriter::varint(uint64_t v) {
+    while (v >= 0x80) {
+        u8(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    u8(static_cast<uint8_t>(v));
+}
+
+void BinaryWriter::bytes(BytesView v) {
+    varint(v.size());
+    raw(v);
+}
+
+void BinaryWriter::str(std::string_view v) {
+    varint(v.size());
+    out_.insert(out_.end(), v.begin(), v.end());
+}
+
+void BinaryWriter::raw(BytesView v) {
+    out_.insert(out_.end(), v.begin(), v.end());
+}
+
+Result<uint8_t> BinaryReader::u8() {
+    if (!need(1)) return Err::IoError;
+    return in_[pos_++];
+}
+
+Result<uint16_t> BinaryReader::u16() {
+    if (!need(2)) return Err::IoError;
+    uint16_t v = static_cast<uint16_t>(in_[pos_]) | (static_cast<uint16_t>(in_[pos_ + 1]) << 8);
+    pos_ += 2;
+    return v;
+}
+
+Result<uint32_t> BinaryReader::u32() {
+    if (!need(4)) return Err::IoError;
+    uint32_t v = 0;
+    std::memcpy(&v, in_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+}
+
+Result<uint64_t> BinaryReader::u64() {
+    if (!need(8)) return Err::IoError;
+    uint64_t v = 0;
+    std::memcpy(&v, in_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+}
+
+Result<int64_t> BinaryReader::i64() {
+    auto v = u64();
+    if (!v) return v.status();
+    return static_cast<int64_t>(v.value());
+}
+
+Result<double> BinaryReader::f64() {
+    auto v = u64();
+    if (!v) return v.status();
+    return std::bit_cast<double>(v.value());
+}
+
+Result<uint64_t> BinaryReader::varint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        if (!need(1) || shift > 63) return Err::IoError;
+        uint8_t b = in_[pos_++];
+        v |= static_cast<uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80)) return v;
+        shift += 7;
+    }
+}
+
+Result<Bytes> BinaryReader::bytes() {
+    auto n = varint();
+    if (!n) return n.status();
+    return raw(n.value());
+}
+
+Result<std::string> BinaryReader::str() {
+    auto b = bytes();
+    if (!b) return b.status();
+    return std::string(b.value().begin(), b.value().end());
+}
+
+Result<Bytes> BinaryReader::raw(size_t n) {
+    if (!need(n)) return Err::IoError;
+    Bytes out(in_.begin() + pos_, in_.begin() + pos_ + n);
+    pos_ += n;
+    return out;
+}
+
+}  // namespace pravega

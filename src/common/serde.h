@@ -1,0 +1,63 @@
+// Binary serialization helpers (little-endian fixed-width + varint).
+//
+// Used for WAL data frames, metadata checkpoints, table-segment entries and
+// the client event wire format. Deliberately simple and self-describing
+// enough for recovery-time validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace pravega {
+
+class BinaryWriter {
+public:
+    explicit BinaryWriter(Bytes& out) : out_(out) {}
+
+    void u8(uint8_t v) { out_.push_back(v); }
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void f64(double v);
+    void varint(uint64_t v);
+    void bytes(BytesView v);           // varint length + payload
+    void str(std::string_view v);      // varint length + payload
+    void raw(BytesView v);             // payload only
+
+    size_t size() const { return out_.size(); }
+
+private:
+    Bytes& out_;
+};
+
+class BinaryReader {
+public:
+    explicit BinaryReader(BytesView in) : in_(in) {}
+
+    Result<uint8_t> u8();
+    Result<uint16_t> u16();
+    Result<uint32_t> u32();
+    Result<uint64_t> u64();
+    Result<int64_t> i64();
+    Result<double> f64();
+    Result<uint64_t> varint();
+    Result<Bytes> bytes();
+    Result<std::string> str();
+    Result<Bytes> raw(size_t n);
+
+    size_t remaining() const { return in_.size() - pos_; }
+    size_t position() const { return pos_; }
+    bool atEnd() const { return pos_ >= in_.size(); }
+
+private:
+    bool need(size_t n) const { return pos_ + n <= in_.size(); }
+    BytesView in_;
+    size_t pos_ = 0;
+};
+
+}  // namespace pravega

@@ -1,0 +1,298 @@
+#include "controller/stream_metadata.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pravega::controller {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+bool sameBoundary(double a, double b) { return std::abs(a - b) < kEps; }
+}  // namespace
+
+StreamRecord::StreamRecord(std::string scopedName, StreamConfig config,
+                           uint32_t firstSegmentNumber)
+    : name_(std::move(scopedName)), config_(config) {
+    EpochRecord epoch0;
+    epoch0.epoch = 0;
+    int n = std::max(1, config_.initialSegments);
+    for (int i = 0; i < n; ++i) {
+        SegmentRecord rec;
+        rec.id = segmentstore::makeSegmentId(0, firstSegmentNumber + static_cast<uint32_t>(i));
+        rec.keyStart = static_cast<double>(i) / n;
+        rec.keyEnd = static_cast<double>(i + 1) / n;
+        epoch0.segments.push_back(rec);
+    }
+    epochs_.push_back(std::move(epoch0));
+}
+
+Result<SegmentRecord> StreamRecord::segmentForKey(double h) const {
+    for (const auto& seg : currentEpoch().segments) {
+        if (seg.covers(h)) return seg;
+    }
+    return Status(Err::NotFound, "no segment covers key hash");
+}
+
+Result<SegmentRecord> StreamRecord::findSegment(SegmentId id) const {
+    for (const auto& epoch : epochs_) {
+        for (const auto& seg : epoch.segments) {
+            if (seg.id == id) return seg;
+        }
+    }
+    return Status(Err::NotFound, "unknown segment");
+}
+
+Status StreamRecord::validateScale(
+    const std::vector<SegmentId>& toSeal,
+    const std::vector<std::pair<double, double>>& newRanges) const {
+    if (toSeal.empty() || newRanges.empty()) {
+        return Status(Err::InvalidArgument, "empty scale request");
+    }
+    // Collect the sealed segments' ranges from the CURRENT epoch only.
+    std::vector<std::pair<double, double>> sealedRanges;
+    for (SegmentId id : toSeal) {
+        auto it = std::find_if(currentEpoch().segments.begin(), currentEpoch().segments.end(),
+                               [&](const SegmentRecord& s) { return s.id == id; });
+        if (it == currentEpoch().segments.end()) {
+            return Status(Err::InvalidArgument, "segment not in current epoch");
+        }
+        sealedRanges.emplace_back(it->keyStart, it->keyEnd);
+    }
+    std::sort(sealedRanges.begin(), sealedRanges.end());
+    // Sealed ranges must be contiguous (a single covered interval per the
+    // merge/split semantics of Fig 2a) — actually Pravega allows sealing
+    // disjoint sets; we require each new range to fall inside the sealed
+    // union and the totals to match.
+    double sealedTotal = 0;
+    for (auto& [a, b] : sealedRanges) sealedTotal += b - a;
+
+    auto ranges = newRanges;
+    std::sort(ranges.begin(), ranges.end());
+    double newTotal = 0;
+    for (size_t i = 0; i < ranges.size(); ++i) {
+        auto [a, b] = ranges[i];
+        if (b <= a + kEps) return Status(Err::InvalidArgument, "empty key range");
+        if (i > 0 && ranges[i - 1].second > a + kEps) {
+            return Status(Err::InvalidArgument, "overlapping new ranges");
+        }
+        newTotal += b - a;
+        bool inside = std::any_of(sealedRanges.begin(), sealedRanges.end(), [&](auto& sr) {
+            return sr.first <= a + kEps && b <= sr.second + kEps;
+        });
+        // Merges span multiple sealed ranges; accept if covered by the
+        // union instead of a single range.
+        if (!inside) {
+            double covered = 0;
+            for (auto& [sa, sb] : sealedRanges) {
+                double lo = std::max(sa, a), hi = std::min(sb, b);
+                if (hi > lo) covered += hi - lo;
+            }
+            if (!sameBoundary(covered, b - a)) {
+                return Status(Err::InvalidArgument, "new range outside sealed key space");
+            }
+        }
+    }
+    if (!sameBoundary(sealedTotal, newTotal)) {
+        return Status(Err::InvalidArgument, "new ranges do not cover sealed key space");
+    }
+    return Status::ok();
+}
+
+Result<std::vector<SegmentRecord>> StreamRecord::planScale(
+    const std::vector<SegmentId>& toSeal,
+    const std::vector<std::pair<double, double>>& newRanges, uint32_t& nextSegmentNumber) {
+    Status valid = validateScale(toSeal, newRanges);
+    if (!valid) return valid;
+
+    uint32_t newEpochNum = currentEpoch().epoch + 1;
+    std::vector<SegmentRecord> created;
+    for (const auto& [a, b] : newRanges) {
+        SegmentRecord rec;
+        rec.id = segmentstore::makeSegmentId(newEpochNum, nextSegmentNumber++);
+        rec.keyStart = a;
+        rec.keyEnd = b;
+        created.push_back(rec);
+    }
+    return created;
+}
+
+Status StreamRecord::commitScale(const std::vector<SegmentId>& toSeal,
+                                 const std::vector<SegmentRecord>& created) {
+    EpochRecord next;
+    next.epoch = currentEpoch().epoch + 1;
+    for (const auto& seg : currentEpoch().segments) {
+        if (std::find(toSeal.begin(), toSeal.end(), seg.id) == toSeal.end()) {
+            next.segments.push_back(seg);
+        }
+    }
+    for (const auto& rec : created) next.segments.push_back(rec);
+    std::sort(next.segments.begin(), next.segments.end(),
+              [](const SegmentRecord& x, const SegmentRecord& y) {
+                  return x.keyStart < y.keyStart;
+              });
+
+    // Successor graph: a new segment succeeds every sealed segment whose
+    // range overlaps it; its predecessor list is exactly those segments.
+    for (SegmentId sealedId : toSeal) {
+        auto sealedRec = findSegment(sealedId);
+        std::vector<SuccessorRecord> succ;
+        for (const auto& rec : created) {
+            double lo = std::max(sealedRec.value().keyStart, rec.keyStart);
+            double hi = std::min(sealedRec.value().keyEnd, rec.keyEnd);
+            if (hi > lo + kEps) {
+                SuccessorRecord s;
+                s.segment = rec;
+                for (SegmentId other : toSeal) {
+                    auto otherRec = findSegment(other);
+                    double l2 = std::max(otherRec.value().keyStart, rec.keyStart);
+                    double h2 = std::min(otherRec.value().keyEnd, rec.keyEnd);
+                    if (h2 > l2 + kEps) s.predecessors.push_back(other);
+                }
+                succ.push_back(std::move(s));
+            }
+        }
+        successors_[sealedId] = std::move(succ);
+    }
+
+    epochs_.push_back(std::move(next));
+    return Status::ok();
+}
+
+Result<std::vector<SegmentRecord>> StreamRecord::applyScale(
+    const std::vector<SegmentId>& toSeal,
+    const std::vector<std::pair<double, double>>& newRanges, uint32_t& nextSegmentNumber) {
+    auto created = planScale(toSeal, newRanges, nextSegmentNumber);
+    if (!created) return created;
+    Status committed = commitScale(toSeal, created.value());
+    if (!committed) return committed;
+    return created;
+}
+
+std::vector<SuccessorRecord> StreamRecord::successorsOf(SegmentId id) const {
+    auto it = successors_.find(id);
+    return it == successors_.end() ? std::vector<SuccessorRecord>{} : it->second;
+}
+
+std::vector<SegmentRecord> StreamRecord::allSegments() const {
+    std::vector<SegmentRecord> out;
+    for (const auto& epoch : epochs_) {
+        for (const auto& seg : epoch.segments) {
+            if (std::find_if(out.begin(), out.end(), [&](const SegmentRecord& s) {
+                    return s.id == seg.id;
+                }) == out.end()) {
+                out.push_back(seg);
+            }
+        }
+    }
+    return out;
+}
+
+void StreamRecord::serialize(BinaryWriter& w) const {
+    w.str(name_);
+    w.u8(static_cast<uint8_t>(config_.scaling.type));
+    w.f64(config_.scaling.targetRate);
+    w.u32(static_cast<uint32_t>(config_.scaling.scaleFactor));
+    w.u32(static_cast<uint32_t>(config_.scaling.minSegments));
+    w.u8(static_cast<uint8_t>(config_.retention.type));
+    w.u64(config_.retention.limitBytes);
+    w.i64(config_.retention.limitTime);
+    w.u32(static_cast<uint32_t>(config_.initialSegments));
+    w.u8(sealed_ ? 1 : 0);
+    w.varint(epochs_.size());
+    for (const auto& epoch : epochs_) {
+        w.u32(epoch.epoch);
+        w.varint(epoch.segments.size());
+        for (const auto& seg : epoch.segments) {
+            w.u64(seg.id);
+            w.f64(seg.keyStart);
+            w.f64(seg.keyEnd);
+        }
+    }
+    w.varint(successors_.size());
+    for (const auto& [id, succ] : successors_) {
+        w.u64(id);
+        w.varint(succ.size());
+        for (const auto& s : succ) {
+            w.u64(s.segment.id);
+            w.f64(s.segment.keyStart);
+            w.f64(s.segment.keyEnd);
+            w.varint(s.predecessors.size());
+            for (SegmentId p : s.predecessors) w.u64(p);
+        }
+    }
+}
+
+Result<StreamRecord> StreamRecord::deserialize(BinaryReader& r) {
+    StreamRecord rec;
+    auto name = r.str();
+    if (!name) return name.status();
+    rec.name_ = std::move(name.value());
+
+    auto scaleType = r.u8();
+    auto targetRate = r.f64();
+    auto scaleFactor = r.u32();
+    auto minSegments = r.u32();
+    auto retType = r.u8();
+    auto limitBytes = r.u64();
+    auto limitTime = r.i64();
+    auto initialSegments = r.u32();
+    auto sealed = r.u8();
+    auto epochCount = r.varint();
+    if (!scaleType || !targetRate || !scaleFactor || !minSegments || !retType || !limitBytes ||
+        !limitTime || !initialSegments || !sealed || !epochCount) {
+        return Status(Err::IoError, "corrupt stream record");
+    }
+    rec.config_.scaling.type = static_cast<ScaleType>(scaleType.value());
+    rec.config_.scaling.targetRate = targetRate.value();
+    rec.config_.scaling.scaleFactor = static_cast<int>(scaleFactor.value());
+    rec.config_.scaling.minSegments = static_cast<int>(minSegments.value());
+    rec.config_.retention.type = static_cast<RetentionType>(retType.value());
+    rec.config_.retention.limitBytes = limitBytes.value();
+    rec.config_.retention.limitTime = limitTime.value();
+    rec.config_.initialSegments = static_cast<int>(initialSegments.value());
+    rec.sealed_ = sealed.value() != 0;
+
+    for (uint64_t i = 0; i < epochCount.value(); ++i) {
+        EpochRecord epoch;
+        auto num = r.u32();
+        auto segCount = r.varint();
+        if (!num || !segCount) return Status(Err::IoError, "corrupt epoch record");
+        epoch.epoch = num.value();
+        for (uint64_t j = 0; j < segCount.value(); ++j) {
+            auto id = r.u64();
+            auto ks = r.f64();
+            auto ke = r.f64();
+            if (!id || !ks || !ke) return Status(Err::IoError, "corrupt segment record");
+            epoch.segments.push_back(SegmentRecord{id.value(), ks.value(), ke.value()});
+        }
+        rec.epochs_.push_back(std::move(epoch));
+    }
+    auto succCount = r.varint();
+    if (!succCount) return succCount.status();
+    for (uint64_t i = 0; i < succCount.value(); ++i) {
+        auto id = r.u64();
+        auto n = r.varint();
+        if (!id || !n) return Status(Err::IoError, "corrupt successor record");
+        std::vector<SuccessorRecord> succ;
+        for (uint64_t j = 0; j < n.value(); ++j) {
+            SuccessorRecord s;
+            auto sid = r.u64();
+            auto ks = r.f64();
+            auto ke = r.f64();
+            auto pc = r.varint();
+            if (!sid || !ks || !ke || !pc) return Status(Err::IoError, "corrupt successor");
+            s.segment = SegmentRecord{sid.value(), ks.value(), ke.value()};
+            for (uint64_t k = 0; k < pc.value(); ++k) {
+                auto p = r.u64();
+                if (!p) return p.status();
+                s.predecessors.push_back(p.value());
+            }
+            succ.push_back(std::move(s));
+        }
+        rec.successors_[id.value()] = std::move(succ);
+    }
+    return rec;
+}
+
+}  // namespace pravega::controller

@@ -1,0 +1,126 @@
+// Long-Term Storage: chunk storage interface and backends (§4.3).
+//
+// Pravega stores segment data in LTS as *chunks* — contiguous ranges of
+// segment bytes with no extra metadata inside. The interface below is what
+// the storage writer programs against; backends model the paper's EFS/S3
+// (SimulatedObjectStorage), local testing (InMemory, FileSystem) and the
+// paper's metadata-only test feature used in Fig 7a (NoOp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "sim/future.h"
+#include "sim/models.h"
+
+namespace pravega::lts {
+
+struct ChunkInfo {
+    std::string name;
+    uint64_t length = 0;
+};
+
+/// Abstract chunk store. Chunks are created once, appended while open, and
+/// immutable after that (mirrors object-store semantics: Pravega never
+/// rewrites LTS data).
+class ChunkStorage {
+public:
+    virtual ~ChunkStorage() = default;
+
+    virtual sim::Future<sim::Unit> create(const std::string& name) = 0;
+    virtual sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) = 0;
+    virtual sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
+                                        uint64_t length) = 0;
+    virtual sim::Future<sim::Unit> remove(const std::string& name) = 0;
+    virtual Result<ChunkInfo> stat(const std::string& name) const = 0;
+
+    virtual uint64_t totalBytes() const = 0;
+    /// Seconds of queued work; drives ingest throttling (§4.3). Zero for
+    /// backends without a timing model.
+    virtual double backlogSeconds() const { return 0.0; }
+};
+
+/// In-memory backend: exact data semantics, no timing model. The reference
+/// backend for unit tests.
+class InMemoryChunkStorage : public ChunkStorage {
+public:
+    sim::Future<sim::Unit> create(const std::string& name) override;
+    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override;
+    sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
+                                uint64_t length) override;
+    sim::Future<sim::Unit> remove(const std::string& name) override;
+    Result<ChunkInfo> stat(const std::string& name) const override;
+    uint64_t totalBytes() const override { return totalBytes_; }
+
+private:
+    std::map<std::string, Bytes> chunks_;
+    uint64_t totalBytes_ = 0;
+};
+
+/// Object-store backend: in-memory data plus an ObjectStoreModel timing
+/// model (per-op latency, per-stream and aggregate throughput caps). This
+/// is the stand-in for AWS EFS / S3 in every benchmark.
+class SimulatedObjectStorage : public ChunkStorage {
+public:
+    SimulatedObjectStorage(sim::Executor& exec, sim::ObjectStoreModel::Config cfg)
+        : model_(exec, cfg) {}
+
+    sim::Future<sim::Unit> create(const std::string& name) override;
+    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override;
+    sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
+                                uint64_t length) override;
+    sim::Future<sim::Unit> remove(const std::string& name) override;
+    Result<ChunkInfo> stat(const std::string& name) const override;
+    uint64_t totalBytes() const override { return mem_.totalBytes(); }
+    double backlogSeconds() const override { return model_.backlogSeconds(); }
+
+    const sim::ObjectStoreModel& model() const { return model_; }
+
+private:
+    InMemoryChunkStorage mem_;
+    sim::ObjectStoreModel model_;
+};
+
+/// Filesystem backend: real files under a root directory (synchronous I/O
+/// wrapped in ready futures). Used by the examples for actual persistence.
+class FileSystemChunkStorage : public ChunkStorage {
+public:
+    explicit FileSystemChunkStorage(std::string rootDir);
+
+    sim::Future<sim::Unit> create(const std::string& name) override;
+    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override;
+    sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
+                                uint64_t length) override;
+    sim::Future<sim::Unit> remove(const std::string& name) override;
+    Result<ChunkInfo> stat(const std::string& name) const override;
+    uint64_t totalBytes() const override { return totalBytes_; }
+
+private:
+    std::string pathFor(const std::string& name) const;
+    std::string root_;
+    std::map<std::string, uint64_t> sizes_;
+    uint64_t totalBytes_ = 0;
+};
+
+/// Metadata-only backend: accepts and immediately discards data. This is
+/// the paper's "NoOp LTS" test feature (§5.4) used to show the LTS
+/// bandwidth bottleneck.
+class NoOpChunkStorage : public ChunkStorage {
+public:
+    sim::Future<sim::Unit> create(const std::string& name) override;
+    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override;
+    sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
+                                uint64_t length) override;
+    sim::Future<sim::Unit> remove(const std::string& name) override;
+    Result<ChunkInfo> stat(const std::string& name) const override;
+    uint64_t totalBytes() const override { return 0; }
+
+private:
+    std::map<std::string, uint64_t> sizes_;
+};
+
+}  // namespace pravega::lts

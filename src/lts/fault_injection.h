@@ -1,0 +1,105 @@
+// Fault-injecting chunk-storage decorator.
+//
+// Wraps any ChunkStorage backend and injects failures (probabilistic or
+// scheduled) and extra latency on a per-operation basis. The paper's §4.3
+// requires Pravega to tolerate an LTS that is "not available or temporarily
+// slow"; this decorator is how the test suite and failure-injection benches
+// exercise those paths (storage-writer retries, throttling, idempotent
+// flush resumption).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lts/chunk_storage.h"
+#include "sim/executor.h"
+#include "sim/random.h"
+
+namespace pravega::lts {
+
+class FaultInjectionChunkStorage : public ChunkStorage {
+public:
+    struct Config {
+        /// Probability that any single operation fails with IoError.
+        double failureProbability = 0.0;
+        /// Hard outage window [outageStart, outageEnd) in virtual time:
+        /// every operation fails during it (LTS "not available", §4.3).
+        sim::TimePoint outageStart = -1;
+        sim::TimePoint outageEnd = -1;
+        /// Extra latency added to every operation ("temporarily slow").
+        sim::Duration extraLatency = 0;
+        uint64_t seed = 1;
+    };
+
+    FaultInjectionChunkStorage(sim::Executor& exec, ChunkStorage& inner, Config cfg)
+        : exec_(exec), inner_(inner), cfg_(cfg), rng_(cfg.seed) {}
+
+    /// Re-arms a hard outage window starting now.
+    void startOutage(sim::Duration duration) {
+        cfg_.outageStart = exec_.now();
+        cfg_.outageEnd = exec_.now() + duration;
+    }
+    void endOutage() { cfg_.outageEnd = exec_.now(); }
+
+    uint64_t injectedFailures() const { return injectedFailures_; }
+
+    sim::Future<sim::Unit> create(const std::string& name) override {
+        if (shouldFail()) return failUnit();
+        return delayed(inner_.create(name));
+    }
+    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override {
+        if (shouldFail()) return failUnit();
+        return delayed(inner_.append(name, std::move(data)));
+    }
+    sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
+                                uint64_t length) override {
+        if (shouldFail()) {
+            ++injectedFailures_;
+            return sim::Future<SharedBuf>::failed(Status(Err::IoError, "injected LTS failure"));
+        }
+        return delayed(inner_.read(name, offset, length));
+    }
+    sim::Future<sim::Unit> remove(const std::string& name) override {
+        if (shouldFail()) return failUnit();
+        return delayed(inner_.remove(name));
+    }
+    Result<ChunkInfo> stat(const std::string& name) const override { return inner_.stat(name); }
+    uint64_t totalBytes() const override { return inner_.totalBytes(); }
+    double backlogSeconds() const override { return inner_.backlogSeconds(); }
+
+private:
+    bool shouldFail() {
+        sim::TimePoint now = exec_.now();
+        if (cfg_.outageStart >= 0 && now >= cfg_.outageStart && now < cfg_.outageEnd) {
+            ++injectedFailures_;
+            return true;
+        }
+        if (cfg_.failureProbability > 0 && rng_.nextDouble() < cfg_.failureProbability) {
+            ++injectedFailures_;
+            return true;
+        }
+        return false;
+    }
+    sim::Future<sim::Unit> failUnit() {
+        return sim::Future<sim::Unit>::failed(Status(Err::IoError, "injected LTS failure"));
+    }
+    template <typename T>
+    sim::Future<T> delayed(sim::Future<T> inner) {
+        if (cfg_.extraLatency <= 0) return inner;
+        sim::Promise<T> p;
+        auto fut = p.future();
+        inner.onComplete([this, p](const Result<T>& r) mutable {
+            exec_.schedule(cfg_.extraLatency, [p, r]() mutable { p.complete(r); });
+        });
+        return fut;
+    }
+
+    sim::Executor& exec_;
+    ChunkStorage& inner_;
+    Config cfg_;
+    sim::Rng rng_;
+    uint64_t injectedFailures_ = 0;
+};
+
+}  // namespace pravega::lts

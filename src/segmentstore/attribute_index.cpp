@@ -1,0 +1,61 @@
+#include "segmentstore/attribute_index.h"
+
+namespace pravega::segmentstore {
+
+int64_t AttributeIndex::get(SegmentId segment, AttributeId attribute) const {
+    auto sit = attrs_.find(segment);
+    if (sit == attrs_.end()) return kNullValue;
+    auto ait = sit->second.find(attribute);
+    return ait == sit->second.end() ? kNullValue : ait->second;
+}
+
+void AttributeIndex::set(SegmentId segment, AttributeId attribute, int64_t value) {
+    if (value == kNullValue) {
+        auto sit = attrs_.find(segment);
+        if (sit != attrs_.end()) sit->second.erase(attribute);
+        return;
+    }
+    attrs_[segment][attribute] = value;
+}
+
+Status AttributeIndex::compareAndSet(SegmentId segment, AttributeId attribute, int64_t expected,
+                                     int64_t value) {
+    int64_t current = get(segment, attribute);
+    if (current != expected) return Status(Err::BadVersion, "attribute value mismatch");
+    set(segment, attribute, value);
+    return Status::ok();
+}
+
+size_t AttributeIndex::count(SegmentId segment) const {
+    auto sit = attrs_.find(segment);
+    return sit == attrs_.end() ? 0 : sit->second.size();
+}
+
+void AttributeIndex::serialize(SegmentId segment, BinaryWriter& w) const {
+    auto sit = attrs_.find(segment);
+    if (sit == attrs_.end()) {
+        w.varint(0);
+        return;
+    }
+    w.varint(sit->second.size());
+    for (const auto& [id, value] : sit->second) {
+        w.u64(id);
+        w.i64(value);
+    }
+}
+
+Status AttributeIndex::deserialize(SegmentId segment, BinaryReader& r) {
+    auto n = r.varint();
+    if (!n) return n.status();
+    auto& m = attrs_[segment];
+    m.clear();
+    for (uint64_t i = 0; i < n.value(); ++i) {
+        auto id = r.u64();
+        auto value = r.i64();
+        if (!id || !value) return Status(Err::IoError, "corrupt attribute record");
+        m[id.value()] = value.value();
+    }
+    return Status::ok();
+}
+
+}  // namespace pravega::segmentstore

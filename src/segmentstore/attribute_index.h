@@ -1,0 +1,47 @@
+// Per-segment attributes (§3.2, "segment attributes").
+//
+// Attributes are key→int64 pairs attached to a segment; Pravega's
+// exactly-once writer protocol persists ⟨writer id, event number⟩ here as
+// part of processing each append, and serves it back on reconnection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "segmentstore/types.h"
+
+namespace pravega::segmentstore {
+
+class AttributeIndex {
+public:
+    /// Reserved value meaning "attribute absent" (mirrors Pravega's
+    /// Attributes.NULL_ATTRIBUTE_VALUE).
+    static constexpr int64_t kNullValue = INT64_MIN;
+
+    void addSegment(SegmentId segment) { attrs_.try_emplace(segment); }
+    void removeSegment(SegmentId segment) { attrs_.erase(segment); }
+
+    /// Returns the attribute value, or kNullValue when unset.
+    int64_t get(SegmentId segment, AttributeId attribute) const;
+
+    void set(SegmentId segment, AttributeId attribute, int64_t value);
+
+    /// Atomic compare-and-set; `expected` of kNullValue means "must be
+    /// unset". Returns BadVersion on mismatch.
+    Status compareAndSet(SegmentId segment, AttributeId attribute, int64_t expected,
+                         int64_t value);
+
+    size_t count(SegmentId segment) const;
+
+    /// Checkpoint support: serialize / restore one segment's attributes.
+    void serialize(SegmentId segment, BinaryWriter& w) const;
+    Status deserialize(SegmentId segment, BinaryReader& r);
+
+private:
+    std::map<SegmentId, std::map<AttributeId, int64_t>> attrs_;
+};
+
+}  // namespace pravega::segmentstore

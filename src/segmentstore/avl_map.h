@@ -1,0 +1,259 @@
+// Custom AVL search tree used by the read index (§4.2).
+//
+// The paper notes the read index keeps "a sorted index of entries per
+// segment (indexed by their start offsets) ... implemented via a custom AVL
+// search tree to minimize memory usage while not sacrificing access
+// performance". This is that tree: an ordered map with floor/ceiling
+// queries (find the entry covering a given offset) and in-order traversal.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace pravega::segmentstore {
+
+template <typename K, typename V>
+class AvlMap {
+public:
+    AvlMap() = default;
+    ~AvlMap() { destroy(root_); }
+
+    AvlMap(const AvlMap&) = delete;
+    AvlMap& operator=(const AvlMap&) = delete;
+    AvlMap(AvlMap&& other) noexcept : root_(other.root_), size_(other.size_) {
+        other.root_ = nullptr;
+        other.size_ = 0;
+    }
+    AvlMap& operator=(AvlMap&& other) noexcept {
+        if (this != &other) {
+            destroy(root_);
+            root_ = other.root_;
+            size_ = other.size_;
+            other.root_ = nullptr;
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// Inserts or overwrites. Returns true if a new key was inserted.
+    bool insert(const K& key, V value) {
+        bool inserted = false;
+        root_ = insertNode(root_, key, std::move(value), inserted);
+        if (inserted) ++size_;
+        return inserted;
+    }
+
+    /// Removes `key`; returns true if it was present.
+    bool erase(const K& key) {
+        bool removed = false;
+        root_ = eraseNode(root_, key, removed);
+        if (removed) --size_;
+        return removed;
+    }
+
+    V* find(const K& key) {
+        Node* n = root_;
+        while (n) {
+            if (key < n->key) {
+                n = n->left;
+            } else if (n->key < key) {
+                n = n->right;
+            } else {
+                return &n->value;
+            }
+        }
+        return nullptr;
+    }
+    const V* find(const K& key) const { return const_cast<AvlMap*>(this)->find(key); }
+
+    /// Greatest entry with key <= `key`, or nullptr.
+    std::pair<const K*, V*> floorEntry(const K& key) {
+        Node* best = nullptr;
+        Node* n = root_;
+        while (n) {
+            if (n->key < key || n->key == key) {
+                best = n;
+                n = n->right;
+            } else {
+                n = n->left;
+            }
+        }
+        return best ? std::pair<const K*, V*>{&best->key, &best->value}
+                    : std::pair<const K*, V*>{nullptr, nullptr};
+    }
+
+    /// Smallest entry with key >= `key`, or nullptr.
+    std::pair<const K*, V*> ceilingEntry(const K& key) {
+        Node* best = nullptr;
+        Node* n = root_;
+        while (n) {
+            if (key < n->key || n->key == key) {
+                best = n;
+                n = n->left;
+            } else {
+                n = n->right;
+            }
+        }
+        return best ? std::pair<const K*, V*>{&best->key, &best->value}
+                    : std::pair<const K*, V*>{nullptr, nullptr};
+    }
+
+    std::pair<const K*, V*> firstEntry() {
+        Node* n = root_;
+        while (n && n->left) n = n->left;
+        return n ? std::pair<const K*, V*>{&n->key, &n->value}
+                 : std::pair<const K*, V*>{nullptr, nullptr};
+    }
+
+    std::pair<const K*, V*> lastEntry() {
+        Node* n = root_;
+        while (n && n->right) n = n->right;
+        return n ? std::pair<const K*, V*>{&n->key, &n->value}
+                 : std::pair<const K*, V*>{nullptr, nullptr};
+    }
+
+    /// In-order traversal; `fn(key, value)` returns false to stop early.
+    void forEach(const std::function<bool(const K&, V&)>& fn) {
+        forEachNode(root_, fn);
+    }
+
+    void clear() {
+        destroy(root_);
+        root_ = nullptr;
+        size_ = 0;
+    }
+
+    /// Height of the tree (for balance invariant checks in tests).
+    int height() const { return heightOf(root_); }
+
+    /// Verifies AVL balance + ordering invariants (test support).
+    bool checkInvariants() const {
+        bool ok = true;
+        checkNode(root_, nullptr, nullptr, ok);
+        return ok;
+    }
+
+private:
+    struct Node {
+        K key;
+        V value;
+        Node* left = nullptr;
+        Node* right = nullptr;
+        int height = 1;
+        Node(const K& k, V v) : key(k), value(std::move(v)) {}
+    };
+
+    static int heightOf(const Node* n) { return n ? n->height : 0; }
+    static int balanceOf(const Node* n) {
+        return n ? heightOf(n->left) - heightOf(n->right) : 0;
+    }
+    static void update(Node* n) {
+        n->height = 1 + std::max(heightOf(n->left), heightOf(n->right));
+    }
+
+    static Node* rotateRight(Node* y) {
+        Node* x = y->left;
+        y->left = x->right;
+        x->right = y;
+        update(y);
+        update(x);
+        return x;
+    }
+
+    static Node* rotateLeft(Node* x) {
+        Node* y = x->right;
+        x->right = y->left;
+        y->left = x;
+        update(x);
+        update(y);
+        return y;
+    }
+
+    static Node* rebalance(Node* n) {
+        update(n);
+        int bal = balanceOf(n);
+        if (bal > 1) {
+            if (balanceOf(n->left) < 0) n->left = rotateLeft(n->left);
+            return rotateRight(n);
+        }
+        if (bal < -1) {
+            if (balanceOf(n->right) > 0) n->right = rotateRight(n->right);
+            return rotateLeft(n);
+        }
+        return n;
+    }
+
+    static Node* insertNode(Node* n, const K& key, V&& value, bool& inserted) {
+        if (!n) {
+            inserted = true;
+            return new Node(key, std::move(value));
+        }
+        if (key < n->key) {
+            n->left = insertNode(n->left, key, std::move(value), inserted);
+        } else if (n->key < key) {
+            n->right = insertNode(n->right, key, std::move(value), inserted);
+        } else {
+            n->value = std::move(value);
+            return n;
+        }
+        return rebalance(n);
+    }
+
+    static Node* eraseNode(Node* n, const K& key, bool& removed) {
+        if (!n) return nullptr;
+        if (key < n->key) {
+            n->left = eraseNode(n->left, key, removed);
+        } else if (n->key < key) {
+            n->right = eraseNode(n->right, key, removed);
+        } else {
+            removed = true;
+            if (!n->left || !n->right) {
+                Node* child = n->left ? n->left : n->right;
+                delete n;
+                return child;  // may be null
+            }
+            // Two children: replace with in-order successor.
+            Node* succ = n->right;
+            while (succ->left) succ = succ->left;
+            n->key = succ->key;
+            n->value = std::move(succ->value);
+            bool dummy = false;
+            n->right = eraseNode(n->right, succ->key, dummy);
+        }
+        return rebalance(n);
+    }
+
+    static void destroy(Node* n) {
+        if (!n) return;
+        destroy(n->left);
+        destroy(n->right);
+        delete n;
+    }
+
+    static bool forEachNode(Node* n, const std::function<bool(const K&, V&)>& fn) {
+        if (!n) return true;
+        if (!forEachNode(n->left, fn)) return false;
+        if (!fn(n->key, n->value)) return false;
+        return forEachNode(n->right, fn);
+    }
+
+    static int checkNode(const Node* n, const K* lo, const K* hi, bool& ok) {
+        if (!n) return 0;
+        if ((lo && !(*lo < n->key)) || (hi && !(n->key < *hi))) ok = false;
+        int lh = checkNode(n->left, lo, &n->key, ok);
+        int rh = checkNode(n->right, &n->key, hi, ok);
+        if (n->height != 1 + std::max(lh, rh)) ok = false;
+        if (lh - rh > 1 || rh - lh > 1) ok = false;
+        return n->height;
+    }
+
+    Node* root_ = nullptr;
+    size_t size_ = 0;
+};
+
+}  // namespace pravega::segmentstore

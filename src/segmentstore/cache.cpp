@@ -1,0 +1,197 @@
+#include "segmentstore/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace pravega::segmentstore {
+
+BlockCache::BlockCache(Config cfg) : cfg_(cfg) {
+    assert(std::has_single_bit(cfg_.blocksPerBuffer) && "blocksPerBuffer must be a power of 2");
+    assert(cfg_.blockSize > 0 && cfg_.maxBuffers > 0);
+    blockBits_ = static_cast<uint32_t>(std::countr_zero(cfg_.blocksPerBuffer));
+    inSpaceQueue_.assign(cfg_.maxBuffers, false);
+}
+
+bool BlockCache::validAddress(CacheAddress a) const {
+    if (a == kInvalidAddress) return false;
+    uint32_t buf = bufferOf(a);
+    uint32_t blk = blockOf(a);
+    return buf < buffers_.size() && blk < cfg_.blocksPerBuffer && buffers_[buf].blocks[blk].used;
+}
+
+uint8_t* BlockCache::blockData(CacheAddress a) {
+    return buffers_[bufferOf(a)].data.get() + static_cast<size_t>(blockOf(a)) * cfg_.blockSize;
+}
+
+const uint8_t* BlockCache::blockData(CacheAddress a) const {
+    return buffers_[bufferOf(a)].data.get() + static_cast<size_t>(blockOf(a)) * cfg_.blockSize;
+}
+
+BlockCache::BlockMeta& BlockCache::meta(CacheAddress a) {
+    return buffers_[bufferOf(a)].blocks[blockOf(a)];
+}
+
+const BlockCache::BlockMeta& BlockCache::meta(CacheAddress a) const {
+    return buffers_[bufferOf(a)].blocks[blockOf(a)];
+}
+
+Result<CacheAddress> BlockCache::allocBlock() {
+    while (!buffersWithSpace_.empty()) {
+        uint32_t bufId = buffersWithSpace_.front();
+        Buffer& buf = buffers_[bufId];
+        if (buf.freeHead == UINT32_MAX) {
+            // Buffer filled up since it was queued; drop it.
+            buffersWithSpace_.pop_front();
+            inSpaceQueue_[bufId] = false;
+            continue;
+        }
+        uint32_t blk = buf.freeHead;
+        BlockMeta& m = buf.blocks[blk];
+        buf.freeHead = m.nextFree;
+        --buf.freeCount;
+        m = BlockMeta{};
+        m.used = true;
+        ++usedBlocks_;
+        if (buf.freeCount == 0) {
+            buffersWithSpace_.pop_front();
+            inSpaceQueue_[bufId] = false;
+        }
+        return makeAddress(bufId, blk);
+    }
+
+    if (buffers_.size() >= cfg_.maxBuffers) return Status(Err::CacheFull, "all buffers full");
+
+    // Pre-allocate a contiguous buffer and chain all its blocks as free.
+    uint32_t bufId = static_cast<uint32_t>(buffers_.size());
+    Buffer buf;
+    buf.data = std::make_unique<uint8_t[]>(static_cast<size_t>(cfg_.blocksPerBuffer) * cfg_.blockSize);
+    buf.blocks.resize(cfg_.blocksPerBuffer);
+    for (uint32_t i = 0; i < cfg_.blocksPerBuffer; ++i) {
+        buf.blocks[i].nextFree = (i + 1 < cfg_.blocksPerBuffer) ? i + 1 : UINT32_MAX;
+    }
+    buf.freeHead = 0;
+    buf.freeCount = cfg_.blocksPerBuffer;
+    buffers_.push_back(std::move(buf));
+    buffersWithSpace_.push_back(bufId);
+    inSpaceQueue_[bufId] = true;
+    return allocBlock();
+}
+
+void BlockCache::freeBlock(CacheAddress a) {
+    uint32_t bufId = bufferOf(a);
+    uint32_t blk = blockOf(a);
+    Buffer& buf = buffers_[bufId];
+    BlockMeta& m = buf.blocks[blk];
+    assert(m.used);
+    m = BlockMeta{};
+    m.nextFree = buf.freeHead;
+    buf.freeHead = blk;
+    ++buf.freeCount;
+    --usedBlocks_;
+    if (!inSpaceQueue_[bufId]) {
+        buffersWithSpace_.push_back(bufId);
+        inSpaceQueue_[bufId] = true;
+    }
+}
+
+Result<CacheAddress> BlockCache::insert(BytesView data) {
+    auto first = allocBlock();
+    if (!first) return first.status();
+    CacheAddress last = first.value();
+    meta(last).prev = kInvalidAddress;
+
+    size_t pos = std::min<size_t>(data.size(), cfg_.blockSize);
+    std::memcpy(blockData(last), data.data(), pos);
+    meta(last).length = static_cast<uint32_t>(pos);
+    storedBytes_ += pos;
+
+    if (pos < data.size()) {
+        auto extended = append(last, data.subspan(pos));
+        if (!extended) {
+            remove(last);
+            return extended.status();
+        }
+        last = extended.value();
+    }
+    return last;
+}
+
+Result<CacheAddress> BlockCache::append(CacheAddress address, BytesView data) {
+    if (!validAddress(address)) return Status(Err::InvalidArgument, "bad cache address");
+    CacheAddress last = address;
+    size_t pos = 0;
+
+    // Fill the remaining capacity of the current last block first.
+    {
+        BlockMeta& m = meta(last);
+        uint32_t room = cfg_.blockSize - m.length;
+        size_t n = std::min<size_t>(room, data.size());
+        if (n > 0) {
+            std::memcpy(blockData(last) + m.length, data.data(), n);
+            m.length += static_cast<uint32_t>(n);
+            pos += n;
+            storedBytes_ += n;
+        }
+    }
+
+    // Then chain fresh blocks for the remainder.
+    while (pos < data.size()) {
+        auto blk = allocBlock();
+        if (!blk) {
+            // Leave the entry in its (valid) extended-so-far state; the
+            // caller decides whether to evict and retry or drop the entry.
+            return blk.status();
+        }
+        meta(blk.value()).prev = last;
+        size_t n = std::min<size_t>(cfg_.blockSize, data.size() - pos);
+        std::memcpy(blockData(blk.value()), data.data() + pos, n);
+        meta(blk.value()).length = static_cast<uint32_t>(n);
+        storedBytes_ += n;
+        pos += n;
+        last = blk.value();
+    }
+    return last;
+}
+
+Result<Bytes> BlockCache::get(CacheAddress address) const {
+    if (!validAddress(address)) return Status(Err::InvalidArgument, "bad cache address");
+    // Walk the predecessor chain collecting blocks (last → first), then
+    // assemble in forward order.
+    std::vector<CacheAddress> chain;
+    for (CacheAddress a = address; a != kInvalidAddress; a = meta(a).prev) chain.push_back(a);
+
+    uint64_t total = 0;
+    for (CacheAddress a : chain) total += meta(a).length;
+
+    Bytes out;
+    out.reserve(static_cast<size_t>(total));
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const BlockMeta& m = meta(*it);
+        const uint8_t* p = blockData(*it);
+        out.insert(out.end(), p, p + m.length);
+    }
+    return out;
+}
+
+Result<uint64_t> BlockCache::entryLength(CacheAddress address) const {
+    if (!validAddress(address)) return Status(Err::InvalidArgument, "bad cache address");
+    uint64_t total = 0;
+    for (CacheAddress a = address; a != kInvalidAddress; a = meta(a).prev) total += meta(a).length;
+    return total;
+}
+
+Status BlockCache::remove(CacheAddress address) {
+    if (!validAddress(address)) return Status(Err::InvalidArgument, "bad cache address");
+    CacheAddress a = address;
+    while (a != kInvalidAddress) {
+        CacheAddress prev = meta(a).prev;
+        storedBytes_ -= meta(a).length;
+        freeBlock(a);
+        a = prev;
+    }
+    return Status::ok();
+}
+
+}  // namespace pravega::segmentstore

@@ -1,0 +1,795 @@
+#include "segmentstore/container.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace pravega::segmentstore {
+
+namespace {
+constexpr const char* kLog = "container";
+
+SegmentId systemTableIdFor(uint32_t containerId) {
+    return makeSegmentId(0xFFFFFFFFu, containerId);
+}
+}  // namespace
+
+SegmentContainer::SegmentContainer(sim::Executor& exec, uint32_t containerId, wal::WalEnv walEnv,
+                                   sim::HostId host, lts::ChunkStorage& lts, BlockCache& cache,
+                                   ContainerConfig cfg)
+    : exec_(exec),
+      containerId_(containerId),
+      host_(host),
+      lts_(lts),
+      cache_(cache),
+      cfg_(cfg),
+      log_(std::make_unique<wal::LogClient>(walEnv, host, containerId, cfg.log)),
+      readIndex_(cache),
+      systemTable_(systemTableIdFor(containerId)) {
+    storageWriter_ = std::make_unique<StorageWriter>(exec, *this, lts, cfg.storage);
+}
+
+SegmentContainer::~SegmentContainer() {
+    if (!offline_) shutdown();
+}
+
+SegmentContainer::SegmentMeta* SegmentContainer::findSegment(SegmentId id) {
+    auto it = segments_.find(id);
+    return it == segments_.end() || it->second.props.deleted ? nullptr : &it->second;
+}
+
+const SegmentContainer::SegmentMeta* SegmentContainer::findSegment(SegmentId id) const {
+    auto it = segments_.find(id);
+    return it == segments_.end() || it->second.props.deleted ? nullptr : &it->second;
+}
+
+// --------------------------------------------------------------- startup
+
+Status SegmentContainer::start() {
+    auto recovered = log_->recover();
+    if (!recovered) return recovered.status();
+
+    for (auto& [addr, frame] : recovered.value()) {
+        auto ops = deserializeFrame(frame.view());
+        if (!ops) return ops.status();
+        for (auto& op : ops.value()) applyOp(op, addr.sequence, /*replay=*/true);
+        lastAppliedSeq_ = addr.sequence;
+    }
+    offline_ = false;
+
+    // Reconcile recovered segments against LTS (chunk metadata is in the
+    // system table, which the replay above restored).
+    for (auto& [id, meta] : segments_) {
+        if (meta.props.isTable || meta.props.deleted) continue;
+        auto len = storageWriter_->reconcileSegment(id);
+        if (len) {
+            meta.props.storageLength = len.value();
+            readIndex_.setStorageLength(id, len.value());
+        }
+        meta.appliedLength = meta.props.length;
+    }
+    for (auto& [id, meta] : segments_) meta.appliedLength = meta.props.length;
+
+    if (!segments_.contains(systemTable_)) {
+        createSegment(systemTable_, "_system/container_" + std::to_string(containerId_), true);
+    }
+
+    storageWriter_->start();
+    startCachePolicyTimer();
+    PLOG_INFO(kLog, "container %u online, %zu segments recovered", containerId_,
+              segments_.size());
+    return Status::ok();
+}
+
+void SegmentContainer::shutdown() {
+    if (offline_) return;
+    offline_ = true;
+    storageWriter_->stop();
+    ++cacheTimerEpoch_;  // cancels the cache policy timer
+    failAllPending(Status(Err::ContainerOffline, "container shut down"));
+    PLOG_WARN(kLog, "container %u shut down", containerId_);
+}
+
+void SegmentContainer::failAllPending(Status error) {
+    auto frame = std::move(openFrame_);
+    openFrame_ = PendingFrame{};
+    for (auto& c : frame.completions) c(error);
+    auto waiters = std::move(tailWaiters_);
+    tailWaiters_.clear();
+    for (auto& [seg, list] : waiters) {
+        for (auto& w : list) w.wake.setError(error);
+    }
+}
+
+void SegmentContainer::startCachePolicyTimer() {
+    uint64_t epoch = cacheTimerEpoch_;
+    exec_.scheduleWeak(cfg_.cachePolicyInterval, [this, epoch]() {
+        if (epoch != cacheTimerEpoch_ || offline_) return;
+        readIndex_.applyCachePolicy();
+        startCachePolicyTimer();
+    });
+}
+
+// ------------------------------------------------------------- admission
+
+sim::Duration SegmentContainer::throttleDelay() const {
+    double f = 0.0;
+    double backlog = lts_.backlogSeconds();
+    if (backlog > cfg_.throttleStartSeconds) {
+        f = (backlog - cfg_.throttleStartSeconds) /
+            (cfg_.throttleFullSeconds - cfg_.throttleStartSeconds);
+    }
+    uint64_t segPending = storageWriter_->maxSegmentPendingBytes();
+    if (segPending > cfg_.throttleStartSegmentBytes) {
+        double g = static_cast<double>(segPending - cfg_.throttleStartSegmentBytes) /
+                   static_cast<double>(cfg_.throttleFullSegmentBytes -
+                                       cfg_.throttleStartSegmentBytes);
+        f = std::max(f, g);
+    }
+    f = std::clamp(f, 0.0, 1.0);
+    return static_cast<sim::Duration>(f * static_cast<double>(cfg_.maxThrottleDelay));
+}
+
+void SegmentContainer::admit(std::function<void()> fn) {
+    sim::Duration d = throttleDelay();
+    sim::TimePoint at = std::max(exec_.now() + d, admitCursor_);
+    if (at <= exec_.now()) {
+        fn();
+        return;
+    }
+    admitCursor_ = at;
+    exec_.schedule(at - exec_.now(), std::move(fn));
+}
+
+// ------------------------------------------------------------ public API
+
+sim::Future<sim::Unit> SegmentContainer::createSegment(SegmentId id, std::string name,
+                                                       bool isTable) {
+    if (offline_) return sim::Future<sim::Unit>::failed(Status(Err::ContainerOffline, ""));
+    if (segments_.contains(id) && !segments_[id].props.deleted) {
+        return sim::Future<sim::Unit>::failed(Status(Err::AlreadyExists, name));
+    }
+    auto& meta = segments_[id];
+    meta = SegmentMeta{};
+    meta.props.id = id;
+    meta.props.name = name;
+    meta.props.isTable = isTable;
+    readIndex_.addSegment(id);
+    attributes_.addSegment(id);
+
+    Operation op;
+    op.type = OpType::Create;
+    op.segment = id;
+    op.name = std::move(name);
+    op.isTable = isTable;
+
+    sim::Promise<sim::Unit> p;
+    auto fut = p.future();
+    enqueueOp(std::move(op), [p](const Result<int64_t>& r) mutable {
+        if (r.isOk()) {
+            p.setValue(sim::Unit{});
+        } else {
+            p.setError(r.status());
+        }
+    });
+    return fut;
+}
+
+sim::Future<int64_t> SegmentContainer::append(SegmentId id, SharedBuf data, WriterId writer,
+                                              int64_t eventNumber, uint32_t eventCount) {
+    if (offline_) return sim::Future<int64_t>::failed(Status(Err::ContainerOffline, ""));
+    sim::Promise<int64_t> p;
+    auto fut = p.future();
+    admit([this, id, data = std::move(data), writer, eventNumber, eventCount, p]() mutable {
+        if (offline_) {
+            p.setError(Err::ContainerOffline);
+            return;
+        }
+        SegmentMeta* meta = findSegment(id);
+        if (!meta) {
+            p.setError(Err::NotFound, "no such segment");
+            return;
+        }
+        if (meta->props.sealed) {
+            p.setError(Err::Sealed, "segment is sealed");
+            return;
+        }
+        if (writer != 0) {
+            // Exactly-once: stale event numbers are duplicates from a
+            // writer retry; acknowledge without appending (§3.2).
+            int64_t last = attributes_.get(id, writer);
+            if (last != AttributeIndex::kNullValue && eventNumber <= last) {
+                p.setValue(-1);
+                return;
+            }
+            attributes_.set(id, writer, eventNumber);
+        }
+        Operation op;
+        op.type = OpType::Append;
+        op.segment = id;
+        op.offset = meta->props.length;
+        op.writer = writer;
+        op.eventNumber = eventNumber;
+        op.eventCount = eventCount;
+        op.data = std::move(data);
+        meta->props.length += static_cast<int64_t>(op.data.size());
+        enqueueOp(std::move(op), [p](const Result<int64_t>& r) mutable { p.complete(r); });
+    });
+    return fut;
+}
+
+sim::Future<int64_t> SegmentContainer::conditionalAppend(SegmentId id, SharedBuf data,
+                                                         int64_t expectedOffset) {
+    if (offline_) return sim::Future<int64_t>::failed(Status(Err::ContainerOffline, ""));
+    SegmentMeta* meta = findSegment(id);
+    if (!meta) return sim::Future<int64_t>::failed(Status(Err::NotFound, ""));
+    if (meta->props.sealed) return sim::Future<int64_t>::failed(Status(Err::Sealed, ""));
+    if (meta->props.length != expectedOffset) {
+        return sim::Future<int64_t>::failed(Status(Err::BadOffset, "conditional append lost"));
+    }
+    Operation op;
+    op.type = OpType::Append;
+    op.segment = id;
+    op.offset = meta->props.length;
+    op.eventCount = 1;
+    op.data = std::move(data);
+    meta->props.length += static_cast<int64_t>(op.data.size());
+
+    sim::Promise<int64_t> p;
+    auto fut = p.future();
+    enqueueOp(std::move(op), [p](const Result<int64_t>& r) mutable { p.complete(r); });
+    return fut;
+}
+
+sim::Future<sim::Unit> SegmentContainer::seal(SegmentId id) {
+    if (offline_) return sim::Future<sim::Unit>::failed(Status(Err::ContainerOffline, ""));
+    SegmentMeta* meta = findSegment(id);
+    if (!meta) return sim::Future<sim::Unit>::failed(Status(Err::NotFound, ""));
+    if (meta->props.sealed) return sim::Future<sim::Unit>::ready(sim::Unit{});
+    meta->props.sealed = true;
+
+    Operation op;
+    op.type = OpType::Seal;
+    op.segment = id;
+    sim::Promise<sim::Unit> p;
+    auto fut = p.future();
+    enqueueOp(std::move(op), [p](const Result<int64_t>& r) mutable {
+        if (r.isOk()) {
+            p.setValue(sim::Unit{});
+        } else {
+            p.setError(r.status());
+        }
+    });
+    return fut;
+}
+
+sim::Future<sim::Unit> SegmentContainer::truncate(SegmentId id, int64_t newStartOffset) {
+    if (offline_) return sim::Future<sim::Unit>::failed(Status(Err::ContainerOffline, ""));
+    SegmentMeta* meta = findSegment(id);
+    if (!meta) return sim::Future<sim::Unit>::failed(Status(Err::NotFound, ""));
+    if (newStartOffset > meta->props.length) {
+        return sim::Future<sim::Unit>::failed(Status(Err::BadOffset, "beyond segment length"));
+    }
+    meta->props.startOffset = std::max(meta->props.startOffset, newStartOffset);
+
+    Operation op;
+    op.type = OpType::Truncate;
+    op.segment = id;
+    op.offset = newStartOffset;
+    sim::Promise<sim::Unit> p;
+    auto fut = p.future();
+    enqueueOp(std::move(op), [p](const Result<int64_t>& r) mutable {
+        if (r.isOk()) {
+            p.setValue(sim::Unit{});
+        } else {
+            p.setError(r.status());
+        }
+    });
+    return fut;
+}
+
+sim::Future<sim::Unit> SegmentContainer::deleteSegment(SegmentId id) {
+    if (offline_) return sim::Future<sim::Unit>::failed(Status(Err::ContainerOffline, ""));
+    SegmentMeta* meta = findSegment(id);
+    if (!meta) return sim::Future<sim::Unit>::failed(Status(Err::NotFound, ""));
+    meta->props.deleted = true;
+
+    Operation op;
+    op.type = OpType::Delete;
+    op.segment = id;
+    sim::Promise<sim::Unit> p;
+    auto fut = p.future();
+    enqueueOp(std::move(op), [p](const Result<int64_t>& r) mutable {
+        if (r.isOk()) {
+            p.setValue(sim::Unit{});
+        } else {
+            p.setError(r.status());
+        }
+    });
+    return fut;
+}
+
+Result<SegmentProperties> SegmentContainer::getInfo(SegmentId id) const {
+    const SegmentMeta* meta = findSegment(id);
+    if (!meta) return Status(Err::NotFound, "no such segment");
+    SegmentProperties props = meta->props;
+    // External view: the readable prefix, not yet-unacknowledged appends.
+    props.length = meta->appliedLength;
+    return props;
+}
+
+int64_t SegmentContainer::getWriterLastEventNumber(SegmentId id, WriterId writer) const {
+    return attributes_.get(id, writer);
+}
+
+sim::Future<std::vector<int64_t>> SegmentContainer::tableUpdate(SegmentId id,
+                                                                std::vector<TableUpdate> batch) {
+    using Out = std::vector<int64_t>;
+    if (offline_) return sim::Future<Out>::failed(Status(Err::ContainerOffline, ""));
+    SegmentMeta* meta = findSegment(id);
+    if (!meta || !meta->props.isTable) {
+        return sim::Future<Out>::failed(Status(Err::NotFound, "no such table segment"));
+    }
+    // Validate + apply against the (enqueue-time) index so concurrent
+    // conditional updates serialize correctly, then make it durable.
+    Status valid = meta->table.validate(batch);
+    if (!valid) return sim::Future<Out>::failed(valid);
+    auto versions = meta->table.apply(batch);
+
+    Bytes serialized;
+    BinaryWriter w(serialized);
+    TableIndex::serializeBatch(batch, w);
+
+    Operation op;
+    op.type = OpType::TableUpdate;
+    op.segment = id;
+    op.offset = meta->props.length;
+    op.data = SharedBuf(std::move(serialized));
+    meta->props.length += static_cast<int64_t>(op.data.size());
+
+    sim::Promise<Out> p;
+    auto fut = p.future();
+    enqueueOp(std::move(op), [p, versions = std::move(versions)](const Result<int64_t>& r) mutable {
+        if (r.isOk()) {
+            p.setValue(std::move(versions));
+        } else {
+            p.setError(r.status());
+        }
+    });
+    return fut;
+}
+
+Result<TableValue> SegmentContainer::tableGet(SegmentId id, const std::string& key) const {
+    const SegmentMeta* meta = findSegment(id);
+    if (!meta || !meta->props.isTable) return Status(Err::NotFound, "no such table segment");
+    return meta->table.get(key);
+}
+
+std::vector<std::pair<std::string, TableValue>> SegmentContainer::tableScan(
+    SegmentId id, const std::string& prefix) const {
+    const SegmentMeta* meta = findSegment(id);
+    if (!meta || !meta->props.isTable) return {};
+    return meta->table.scanPrefix(prefix);
+}
+
+// ------------------------------------------------------------ frame path
+
+void SegmentContainer::enqueueOp(Operation op, std::function<void(Result<int64_t>)> completion) {
+    openFrame_.bytes += op.serializedSize();
+    openFrame_.ops.push_back(std::move(op));
+    openFrame_.completions.push_back(std::move(completion));
+
+    if (openFrame_.bytes >= cfg_.maxFrameBytes) {
+        closeFrame();
+    } else {
+        scheduleFrameTimer();
+    }
+}
+
+sim::Duration SegmentContainer::currentBatchDelay() const {
+    // Delay = RecentLatency * (1 - AvgWriteSize / MaxFrameSize), bounded.
+    double fill = avgWriteSizeBytes_ / static_cast<double>(cfg_.maxFrameBytes);
+    fill = std::clamp(fill, 0.0, 1.0);
+    auto d = static_cast<sim::Duration>(recentWalLatencyNs_ * (1.0 - fill));
+    return std::clamp<sim::Duration>(d, 0, cfg_.maxBatchDelay);
+}
+
+void SegmentContainer::scheduleFrameTimer() {
+    if (frameTimerArmed_) return;
+    frameTimerArmed_ = true;
+    uint64_t epoch = ++frameTimerEpoch_;
+    exec_.schedule(currentBatchDelay(), [this, epoch]() {
+        if (epoch != frameTimerEpoch_ || offline_) return;
+        frameTimerArmed_ = false;
+        if (!openFrame_.ops.empty()) closeFrame();
+    });
+}
+
+void SegmentContainer::closeFrame() {
+    frameTimerArmed_ = false;
+    ++frameTimerEpoch_;  // cancel any armed timer
+    if (openFrame_.ops.empty()) return;
+
+    auto frame = std::move(openFrame_);
+    openFrame_ = PendingFrame{};
+
+    Bytes serialized;
+    serialized.reserve(frame.bytes);
+    BinaryWriter w(serialized);
+    for (const auto& op : frame.ops) serializeOp(w, op);
+    uint64_t frameBytes = serialized.size();
+
+    // EWMA of frame sizes feeds the delay formula.
+    avgWriteSizeBytes_ = avgWriteSizeBytes_ * 0.8 + static_cast<double>(frameBytes) * 0.2;
+
+    sim::TimePoint sentAt = exec_.now();
+    ++inFlightFrames_;
+    log_->append(SharedBuf(std::move(serialized)))
+        .onComplete([this, ops = std::move(frame.ops), completions = std::move(frame.completions),
+                     sentAt](const Result<wal::LogAddress>& r) mutable {
+            --inFlightFrames_;
+            if (!r.isOk()) {
+                for (auto& c : completions) c(r.status());
+                PLOG_ERROR(kLog, "container %u WAL write failed (%s); shutting down",
+                           containerId_, r.status().toString().c_str());
+                shutdown();
+                return;
+            }
+            double latency = static_cast<double>(exec_.now() - sentAt);
+            recentWalLatencyNs_ = recentWalLatencyNs_ * 0.8 + latency * 0.2;
+            applyFrame(std::move(ops), std::move(completions), r.value().sequence);
+        });
+}
+
+void SegmentContainer::applyFrame(std::vector<Operation> ops,
+                                  std::vector<std::function<void(Result<int64_t>)>> completions,
+                                  int64_t walSequence) {
+    assert(ops.size() == completions.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+        applyOp(ops[i], walSequence, /*replay=*/false);
+        completions[i](ops[i].offset);
+    }
+    lastAppliedSeq_ = walSequence;
+    maybeCheckpoint();
+}
+
+void SegmentContainer::applyOp(Operation& op, int64_t walSequence, bool replay) {
+    ++appliedOps_;
+    ++opsSinceCheckpoint_;
+    bytesSinceCheckpoint_ += op.data.size();
+
+    switch (op.type) {
+        case OpType::Create: {
+            if (replay) {
+                auto& meta = segments_[op.segment];
+                meta = SegmentMeta{};
+                meta.props.id = op.segment;
+                meta.props.name = op.name;
+                meta.props.isTable = op.isTable;
+                readIndex_.addSegment(op.segment);
+                attributes_.addSegment(op.segment);
+            }
+            break;
+        }
+        case OpType::Append: {
+            SegmentMeta* meta = findSegment(op.segment);
+            if (!meta) {
+                if (!replay) break;
+                // Pre-checkpoint tail during replay: materialize a
+                // placeholder; a later checkpoint restores authoritative
+                // metadata (§4.4 recovery).
+                auto& m = segments_[op.segment];
+                m.props.id = op.segment;
+                readIndex_.addSegment(op.segment);
+                attributes_.addSegment(op.segment);
+                meta = &m;
+            }
+            if (replay) {
+                meta->props.length = std::max(meta->props.length,
+                                              op.offset + static_cast<int64_t>(op.data.size()));
+                if (op.writer != 0) attributes_.set(op.segment, op.writer, op.eventNumber);
+            }
+            readIndex_.append(op.segment, op.offset, op.data.view());
+            meta->appliedLength = std::max(meta->appliedLength,
+                                           op.offset + static_cast<int64_t>(op.data.size()));
+            if (!meta->props.isTable) {
+                storageWriter_->queueAppend(op.segment, op.offset, op.data, walSequence);
+                if (!replay) {
+                    auto& rate = rates_[op.segment];
+                    rate.bytes += op.data.size();
+                    rate.events += op.eventCount;
+                }
+            }
+            if (!replay) wakeTailWaiters(op.segment);
+            break;
+        }
+        case OpType::Seal: {
+            SegmentMeta* meta = findSegment(op.segment);
+            if (meta) {
+                if (replay) meta->props.sealed = true;
+                if (!replay) wakeTailWaiters(op.segment);  // waiters see end-of-segment
+            }
+            break;
+        }
+        case OpType::Truncate: {
+            SegmentMeta* meta = findSegment(op.segment);
+            if (meta) {
+                if (replay) {
+                    meta->props.startOffset = std::max(meta->props.startOffset, op.offset);
+                }
+                readIndex_.truncate(op.segment, op.offset);
+            }
+            break;
+        }
+        case OpType::Delete: {
+            auto it = segments_.find(op.segment);
+            if (it != segments_.end()) {
+                it->second.props.deleted = true;
+                readIndex_.removeSegment(op.segment);
+                attributes_.removeSegment(op.segment);
+                storageWriter_->notifyDeleted(op.segment);
+                if (!replay) wakeTailWaiters(op.segment);
+            }
+            break;
+        }
+        case OpType::TableUpdate: {
+            if (replay) {
+                SegmentMeta* meta = findSegment(op.segment);
+                if (meta) {
+                    BinaryReader r(op.data.view());
+                    auto batch = TableIndex::deserializeBatch(r);
+                    if (batch) {
+                        meta->table.apply(batch.value());
+                        meta->props.length += static_cast<int64_t>(op.data.size());
+                    }
+                }
+            }
+            break;
+        }
+        case OpType::MetadataCheckpoint: {
+            if (replay) {
+                restoreCheckpoint(op.data.view());
+            } else {
+                checkpointSeqs_.push_back(walSequence);
+                checkpointPending_ = false;
+                ++checkpointsWritten_;
+                truncateWalIfPossible();
+            }
+            break;
+        }
+    }
+}
+
+void SegmentContainer::wakeTailWaiters(SegmentId id) {
+    auto it = tailWaiters_.find(id);
+    if (it == tailWaiters_.end()) return;
+    SegmentMeta* meta = findSegment(id);
+    int64_t applied = meta ? meta->appliedLength : INT64_MAX;
+    bool closed = !meta || meta->props.sealed;
+
+    std::vector<TailWaiter> ready;
+    auto& list = it->second;
+    for (auto wit = list.begin(); wit != list.end();) {
+        if (closed || wit->offset < applied) {
+            ready.push_back(std::move(*wit));
+            wit = list.erase(wit);
+        } else {
+            ++wit;
+        }
+    }
+    if (list.empty()) tailWaiters_.erase(it);
+    for (auto& w : ready) w.wake.setValue(sim::Unit{});
+}
+
+// ----------------------------------------------------------- checkpoints
+
+void SegmentContainer::maybeCheckpoint() {
+    if (checkpointPending_ || offline_) return;
+    if (opsSinceCheckpoint_ < cfg_.checkpointEveryOps &&
+        bytesSinceCheckpoint_ < cfg_.checkpointEveryBytes) {
+        return;
+    }
+    checkpointPending_ = true;
+    opsSinceCheckpoint_ = 0;
+    bytesSinceCheckpoint_ = 0;
+
+    Operation op;
+    op.type = OpType::MetadataCheckpoint;
+    op.data = SharedBuf(serializeCheckpoint());
+    enqueueOp(std::move(op), [](const Result<int64_t>&) {});
+}
+
+Bytes SegmentContainer::serializeCheckpoint() const {
+    Bytes out;
+    BinaryWriter w(out);
+    uint64_t live = 0;
+    for (const auto& [id, meta] : segments_) {
+        if (!meta.props.deleted) ++live;
+    }
+    w.varint(live);
+    for (const auto& [id, meta] : segments_) {
+        if (meta.props.deleted) continue;
+        w.u64(id);
+        w.str(meta.props.name);
+        w.u8(meta.props.isTable ? 1 : 0);
+        w.u8(meta.props.sealed ? 1 : 0);
+        w.i64(meta.props.length);
+        w.i64(meta.props.startOffset);
+        w.i64(meta.props.storageLength);
+        attributes_.serialize(id, w);
+        if (meta.props.isTable) meta.table.serialize(w);
+    }
+    return out;
+}
+
+Status SegmentContainer::restoreCheckpoint(BytesView snapshot) {
+    BinaryReader r(snapshot);
+    auto count = r.varint();
+    if (!count) return count.status();
+
+    std::map<SegmentId, SegmentMeta> restored;
+    for (uint64_t i = 0; i < count.value(); ++i) {
+        auto id = r.u64();
+        auto name = r.str();
+        auto isTable = r.u8();
+        auto sealed = r.u8();
+        auto length = r.i64();
+        auto startOffset = r.i64();
+        auto storageLength = r.i64();
+        if (!id || !name || !isTable || !sealed || !length || !startOffset || !storageLength) {
+            return Status(Err::IoError, "corrupt checkpoint");
+        }
+        SegmentMeta meta;
+        meta.props.id = id.value();
+        meta.props.name = std::move(name.value());
+        meta.props.isTable = isTable.value() != 0;
+        meta.props.sealed = sealed.value() != 0;
+        meta.props.length = length.value();
+        meta.props.startOffset = startOffset.value();
+        meta.props.storageLength = storageLength.value();
+        meta.appliedLength = meta.props.length;
+        Status attrs = attributes_.deserialize(id.value(), r);
+        if (!attrs) return attrs;
+        if (meta.props.isTable) {
+            Status table = meta.table.deserialize(r);
+            if (!table) return table;
+        }
+        readIndex_.addSegment(id.value());
+        restored.emplace(id.value(), std::move(meta));
+    }
+    // Preserve read-index contents (replayed appends); metadata resets to
+    // the snapshot, which is authoritative at this point in the log.
+    segments_ = std::move(restored);
+    return Status::ok();
+}
+
+void SegmentContainer::truncateWalIfPossible() {
+    int64_t flushed = storageWriter_->flushedWalSequence();
+    int64_t candidate = -1;
+    while (!checkpointSeqs_.empty() && checkpointSeqs_.front() <= flushed) {
+        candidate = checkpointSeqs_.front();
+        checkpointSeqs_.pop_front();
+    }
+    if (candidate > lastTruncatedSeq_ + 1) {
+        log_->truncate(wal::LogAddress{0, 0, candidate - 1});
+        lastTruncatedSeq_ = candidate - 1;
+        ++walTruncations_;
+    }
+}
+
+void SegmentContainer::onSegmentFlushed(SegmentId id, int64_t newStorageLength) {
+    SegmentMeta* meta = findSegment(id);
+    if (!meta) return;
+    meta->props.storageLength = std::max(meta->props.storageLength, newStorageLength);
+    readIndex_.setStorageLength(id, meta->props.storageLength);
+}
+
+void SegmentContainer::onStorageProgress() {
+    if (!offline_) truncateWalIfPossible();
+}
+
+// ------------------------------------------------------------- read path
+
+sim::Future<ReadResult> SegmentContainer::read(SegmentId id, int64_t offset, int64_t maxBytes) {
+    if (offline_) return sim::Future<ReadResult>::failed(Status(Err::ContainerOffline, ""));
+    sim::Promise<ReadResult> p;
+    auto fut = p.future();
+    attemptRead(id, offset, maxBytes, std::move(p), 0);
+    return fut;
+}
+
+void SegmentContainer::attemptRead(SegmentId id, int64_t offset, int64_t maxBytes,
+                                   sim::Promise<ReadResult> promise, int depth) {
+    SegmentMeta* meta = findSegment(id);
+    if (!meta) {
+        promise.setError(Err::NotFound, "no such segment");
+        return;
+    }
+    auto outcome = readIndex_.read(id, offset, maxBytes, meta->appliedLength,
+                                   meta->props.startOffset);
+    if (!outcome) {
+        promise.setError(outcome.status());
+        return;
+    }
+    if (auto* hit = std::get_if<ReadHit>(&outcome.value())) {
+        ReadResult res;
+        res.data = std::move(hit->data);
+        res.offset = offset;
+        res.endOfSegment =
+            meta->props.sealed &&
+            offset + static_cast<int64_t>(res.data.size()) >= meta->appliedLength;
+        promise.setValue(std::move(res));
+        return;
+    }
+    if (std::holds_alternative<ReadAtTail>(outcome.value())) {
+        if (meta->props.sealed) {
+            ReadResult res;
+            res.offset = offset;
+            res.endOfSegment = true;
+            promise.setValue(std::move(res));
+            return;
+        }
+        // Register a tail waiter; retry when new data is applied (§4.2:
+        // "return a future that will be completed when new data is added").
+        TailWaiter waiter;
+        waiter.offset = offset;
+        auto wake = waiter.wake.future();
+        tailWaiters_[id].push_back(std::move(waiter));
+        wake.onComplete([this, id, offset, maxBytes, promise,
+                         depth](const Result<sim::Unit>& r) mutable {
+            if (!r.isOk()) {
+                promise.setError(r.status());
+                return;
+            }
+            attemptRead(id, offset, maxBytes, std::move(promise), depth + 1);
+        });
+        return;
+    }
+
+    // Cache miss: fetch the gap from LTS, index it, retry (§4.2).
+    auto miss = std::get<ReadMiss>(outcome.value());
+    if (depth > 8) {
+        promise.setError(Err::IoError, "read did not converge");
+        return;
+    }
+    auto chunk = storageWriter_->findChunk(id, miss.offset);
+    if (!chunk) {
+        promise.setError(chunk.status());
+        return;
+    }
+    int64_t within = miss.offset - chunk.value().startOffset;
+    int64_t len = std::min(miss.length, chunk.value().length - within);
+    if (len <= 0) {
+        promise.setError(Err::IoError, "chunk metadata inconsistent with read index");
+        return;
+    }
+    lts_.read(chunk.value().name, static_cast<uint64_t>(within), static_cast<uint64_t>(len))
+        .onComplete([this, id, offset, maxBytes, promise, miss,
+                     depth](const Result<SharedBuf>& r) mutable {
+            if (!r.isOk()) {
+                promise.setError(r.status());
+                return;
+            }
+            readIndex_.insertFromStorage(id, miss.offset, r.value().view());
+            attemptRead(id, offset, maxBytes, std::move(promise), depth + 1);
+        });
+}
+
+// ----------------------------------------------------------- observation
+
+std::map<SegmentId, SegmentRate> SegmentContainer::drainRates() {
+    auto out = std::move(rates_);
+    rates_.clear();
+    return out;
+}
+
+std::vector<SegmentId> SegmentContainer::listSegments() const {
+    std::vector<SegmentId> out;
+    for (const auto& [id, meta] : segments_) {
+        if (!meta.props.deleted) out.push_back(id);
+    }
+    return out;
+}
+
+}  // namespace pravega::segmentstore

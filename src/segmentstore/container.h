@@ -1,0 +1,237 @@
+// SegmentContainer: the unit of the data plane (§2.2, §4.1).
+//
+// Every request that modifies a segment becomes an Operation queued for
+// processing. A container has a single dedicated WAL log to which ALL of
+// its segments' operations are multiplexed — the crucial design feature
+// that lets Pravega support enormous segment counts without per-segment
+// physical resources. Operations are aggregated into data frames whose
+// close is governed by the paper's delay formula
+//     Delay = RecentLatency * (1 - AvgWriteSize / MaxFrameSize)
+// and each acknowledged frame is applied to the in-memory state (read
+// index, attributes, tables), acknowledged to clients, and handed to the
+// storage writer for tiering.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "lts/chunk_storage.h"
+#include "segmentstore/attribute_index.h"
+#include "segmentstore/cache.h"
+#include "segmentstore/operations.h"
+#include "segmentstore/read_index.h"
+#include "segmentstore/storage_writer.h"
+#include "segmentstore/table_segment.h"
+#include "segmentstore/types.h"
+#include "sim/executor.h"
+#include "sim/future.h"
+#include "wal/log_client.h"
+
+namespace pravega::segmentstore {
+
+struct ContainerConfig {
+    uint64_t maxFrameBytes = 1024 * 1024;       // paper §4.1: e.g. 1 MB frames
+    sim::Duration maxBatchDelay = sim::msec(20);  // bound on the delay formula
+    uint64_t checkpointEveryOps = 4000;
+    uint64_t checkpointEveryBytes = 32 * 1024 * 1024;
+    StorageWriterConfig storage;
+    wal::LogClient::Config log;
+
+    /// Ingest throttling (§4.3): appends are delayed proportionally when
+    /// either the LTS device backlog (seconds of queued transfers) or the
+    /// hottest segment's unflushed backlog (bytes waiting for LTS) exceeds
+    /// its start threshold, ramping to `maxThrottleDelay` at the full one.
+    double throttleStartSeconds = 1.0;
+    double throttleFullSeconds = 10.0;
+    uint64_t throttleStartSegmentBytes = 64ULL * 1024 * 1024;
+    uint64_t throttleFullSegmentBytes = 256ULL * 1024 * 1024;
+    sim::Duration maxThrottleDelay = sim::msec(500);
+
+    /// Cache policy cadence (read-index eviction).
+    sim::Duration cachePolicyInterval = sim::msec(250);
+};
+
+struct ReadResult {
+    Bytes data;
+    int64_t offset = 0;
+    bool endOfSegment = false;
+};
+
+/// Per-segment throughput counters for the control-plane feedback loop
+/// (§3.1): the data plane reports rates, the controller reacts.
+struct SegmentRate {
+    uint64_t bytes = 0;
+    uint64_t events = 0;
+};
+
+class SegmentContainer {
+public:
+    SegmentContainer(sim::Executor& exec, uint32_t containerId, wal::WalEnv walEnv,
+                     sim::HostId host, lts::ChunkStorage& lts, BlockCache& cache,
+                     ContainerConfig cfg);
+    ~SegmentContainer();
+
+    SegmentContainer(const SegmentContainer&) = delete;
+    SegmentContainer& operator=(const SegmentContainer&) = delete;
+
+    /// Recovery + startup (§4.4): fences the WAL, replays checkpoint +
+    /// operations, reconciles LTS chunks, starts background work.
+    Status start();
+
+    /// Severe-error shutdown: fails pending operations; a future owner (or
+    /// this one, via start()) recovers from WAL.
+    void shutdown();
+    bool isOffline() const { return offline_; }
+
+    uint32_t id() const { return containerId_; }
+
+    // ---- segment API --------------------------------------------------
+    sim::Future<sim::Unit> createSegment(SegmentId id, std::string name, bool isTable = false);
+
+    /// Event-writer append with the exactly-once protocol (§3.2): if
+    /// `writer` != 0, `eventNumber` must exceed the writer's last recorded
+    /// event number; stale appends are acknowledged idempotently without
+    /// writing. Completes with the offset at which data was appended.
+    sim::Future<int64_t> append(SegmentId id, SharedBuf data, WriterId writer = 0,
+                                int64_t eventNumber = -1, uint32_t eventCount = 1);
+
+    /// Compare-and-append at an expected offset (the primitive beneath the
+    /// state synchronizer's optimistic concurrency, §3.3).
+    sim::Future<int64_t> conditionalAppend(SegmentId id, SharedBuf data, int64_t expectedOffset);
+
+    /// Read with tail semantics: returns immediately-available data, fetches
+    /// from LTS on a miss, or waits for new data at the tail (§4.2).
+    sim::Future<ReadResult> read(SegmentId id, int64_t offset, int64_t maxBytes);
+
+    sim::Future<sim::Unit> seal(SegmentId id);
+    sim::Future<sim::Unit> truncate(SegmentId id, int64_t newStartOffset);
+    sim::Future<sim::Unit> deleteSegment(SegmentId id);
+
+    Result<SegmentProperties> getInfo(SegmentId id) const;
+
+    /// Writer-reconnect handshake: last event number recorded for `writer`
+    /// on this segment (kNullValue when none).
+    int64_t getWriterLastEventNumber(SegmentId id, WriterId writer) const;
+
+    // ---- table API (metadata KV, §4.3) --------------------------------
+    sim::Future<std::vector<int64_t>> tableUpdate(SegmentId id, std::vector<TableUpdate> batch);
+    Result<TableValue> tableGet(SegmentId id, const std::string& key) const;
+    std::vector<std::pair<std::string, TableValue>> tableScan(SegmentId id,
+                                                              const std::string& prefix) const;
+
+    /// The container's own metadata table segment (chunk records etc.).
+    SegmentId systemTableSegment() const { return systemTable_; }
+
+    // ---- feedback / observability -------------------------------------
+    /// Drains per-segment rate counters accumulated since the last call.
+    std::map<SegmentId, SegmentRate> drainRates();
+
+    std::vector<SegmentId> listSegments() const;
+    uint64_t appliedOps() const { return appliedOps_; }
+    int64_t lastAppliedSequence() const { return lastAppliedSeq_; }
+    uint64_t walTruncations() const { return walTruncations_; }
+    uint64_t checkpointsWritten() const { return checkpointsWritten_; }
+    sim::Duration currentBatchDelay() const;
+    lts::ChunkStorage& ltsStorage() { return lts_; }
+    StorageWriter& storageWriter() { return *storageWriter_; }
+    wal::LogClient& walLog() { return *log_; }
+    ReadIndex& readIndex() { return readIndex_; }
+
+    // ---- used by StorageWriter ----------------------------------------
+    void onSegmentFlushed(SegmentId id, int64_t newStorageLength);
+    void onStorageProgress();
+
+private:
+    struct SegmentMeta {
+        SegmentProperties props;
+        int64_t appliedLength = 0;  // readable prefix (apply-time)
+        TableIndex table;           // only for isTable segments
+    };
+    struct PendingFrame {
+        std::vector<Operation> ops;
+        std::vector<std::function<void(Result<int64_t>)>> completions;
+        uint64_t bytes = 0;
+    };
+    struct TailWaiter {
+        int64_t offset;
+        sim::Promise<sim::Unit> wake;
+    };
+
+    SegmentMeta* findSegment(SegmentId id);
+    const SegmentMeta* findSegment(SegmentId id) const;
+
+    /// Admission gate: serializes op processing and applies throttling.
+    void admit(std::function<void()> fn);
+    sim::Duration throttleDelay() const;
+
+    void enqueueOp(Operation op, std::function<void(Result<int64_t>)> completion);
+    void closeFrame();
+    void scheduleFrameTimer();
+    void applyFrame(std::vector<Operation> ops,
+                    std::vector<std::function<void(Result<int64_t>)>> completions,
+                    int64_t walSequence);
+    void applyOp(Operation& op, int64_t walSequence, bool replay);
+    void maybeCheckpoint();
+    Bytes serializeCheckpoint() const;
+    Status restoreCheckpoint(BytesView snapshot);
+    void wakeTailWaiters(SegmentId id);
+    void failAllPending(Status error);
+    void attemptRead(SegmentId id, int64_t offset, int64_t maxBytes,
+                     sim::Promise<ReadResult> promise, int depth);
+    void startCachePolicyTimer();
+    void truncateWalIfPossible();
+
+    sim::Executor& exec_;
+    uint32_t containerId_;
+    sim::HostId host_;
+    lts::ChunkStorage& lts_;
+    BlockCache& cache_;
+    ContainerConfig cfg_;
+
+    std::unique_ptr<wal::LogClient> log_;
+    ReadIndex readIndex_;
+    AttributeIndex attributes_;
+    std::unique_ptr<StorageWriter> storageWriter_;
+
+    std::map<SegmentId, SegmentMeta> segments_;
+    SegmentId systemTable_;
+
+    // Open frame + in-flight frames.
+    PendingFrame openFrame_;
+    uint64_t frameTimerEpoch_ = 0;
+    bool frameTimerArmed_ = false;
+    uint64_t inFlightFrames_ = 0;
+
+    // Delay-formula inputs (EWMAs, §4.1).
+    double recentWalLatencyNs_ = 1.0e6;  // start at 1 ms
+    double avgWriteSizeBytes_ = 0.0;
+
+    // Admission gate (ordering + throttle).
+    sim::TimePoint admitCursor_ = 0;
+
+    // Checkpoint / truncation bookkeeping.
+    uint64_t opsSinceCheckpoint_ = 0;
+    uint64_t bytesSinceCheckpoint_ = 0;
+    std::deque<int64_t> checkpointSeqs_;  // applied checkpoint WAL sequences
+    int64_t lastAppliedSeq_ = -1;
+    int64_t lastTruncatedSeq_ = -1;
+    bool checkpointPending_ = false;
+    uint64_t walTruncations_ = 0;
+    uint64_t checkpointsWritten_ = 0;
+
+    std::map<SegmentId, std::vector<TailWaiter>> tailWaiters_;
+    std::map<SegmentId, SegmentRate> rates_;
+
+    uint64_t appliedOps_ = 0;
+    bool offline_ = true;  // start() brings the container online
+    uint64_t cacheTimerEpoch_ = 0;
+};
+
+}  // namespace pravega::segmentstore

@@ -1,0 +1,55 @@
+#include "segmentstore/operations.h"
+
+namespace pravega::segmentstore {
+
+uint64_t Operation::serializedSize() const {
+    // Close upper bound used for frame-size accounting: fixed header plus
+    // payload and name.
+    return 1 + 8 + 8 + 8 + 8 + 4 + 10 + data.size() + name.size() + 2;
+}
+
+void serializeOp(BinaryWriter& w, const Operation& op) {
+    w.u8(static_cast<uint8_t>(op.type));
+    w.u64(op.segment);
+    w.i64(op.offset);
+    w.u64(op.writer);
+    w.i64(op.eventNumber);
+    w.u32(op.eventCount);
+    w.str(op.name);
+    w.u8(op.isTable ? 1 : 0);
+    w.bytes(op.data.view());
+}
+
+Result<std::vector<Operation>> deserializeFrame(BytesView frame) {
+    BinaryReader r(frame);
+    std::vector<Operation> ops;
+    while (!r.atEnd()) {
+        Operation op;
+        auto type = r.u8();
+        auto segment = r.u64();
+        auto offset = r.i64();
+        auto writer = r.u64();
+        auto eventNumber = r.i64();
+        auto eventCount = r.u32();
+        auto name = r.str();
+        auto isTable = r.u8();
+        auto data = r.bytes();
+        if (!type || !segment || !offset || !writer || !eventNumber || !eventCount || !name ||
+            !isTable || !data) {
+            return Status(Err::IoError, "corrupt data frame");
+        }
+        op.type = static_cast<OpType>(type.value());
+        op.segment = segment.value();
+        op.offset = offset.value();
+        op.writer = writer.value();
+        op.eventNumber = eventNumber.value();
+        op.eventCount = eventCount.value();
+        op.name = std::move(name.value());
+        op.isTable = isTable.value() != 0;
+        op.data = SharedBuf(std::move(data.value()));
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+}  // namespace pravega::segmentstore

@@ -1,0 +1,53 @@
+// WAL operations (§4.1): every request that modifies a segment becomes an
+// Operation, serialized into data frames and written to the container's
+// single multiplexed log. Recovery deserializes and replays them (§4.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "segmentstore/types.h"
+
+namespace pravega::segmentstore {
+
+enum class OpType : uint8_t {
+    Append = 1,
+    Create = 2,
+    Seal = 3,
+    Truncate = 4,
+    Delete = 5,
+    TableUpdate = 6,
+    MetadataCheckpoint = 7,
+};
+
+struct Operation {
+    OpType type = OpType::Append;
+    SegmentId segment = 0;
+
+    // Append fields.
+    int64_t offset = -1;  // assigned by the container when processing
+    WriterId writer = 0;
+    int64_t eventNumber = -1;
+    uint32_t eventCount = 0;
+    SharedBuf data;  // event payload / serialized table batch / checkpoint
+
+    // Create fields.
+    std::string name;
+    bool isTable = false;
+
+    // Truncate field: offset (reused).
+
+    /// Serialized size contribution to a data frame.
+    uint64_t serializedSize() const;
+};
+
+void serializeOp(BinaryWriter& w, const Operation& op);
+
+/// Deserializes a whole data frame (a concatenation of operations).
+Result<std::vector<Operation>> deserializeFrame(BytesView frame);
+
+}  // namespace pravega::segmentstore

@@ -1,0 +1,60 @@
+#include "segmentstore/segment_store.h"
+
+#include "common/logging.h"
+
+namespace pravega::segmentstore {
+
+SegmentStore::SegmentStore(sim::Executor& exec, sim::HostId host, wal::WalEnv walEnv,
+                           lts::ChunkStorage& lts, Config cfg)
+    : exec_(exec),
+      host_(host),
+      walEnv_(walEnv),
+      lts_(lts),
+      cfg_(cfg),
+      cpu_(exec, cfg.cpu),
+      cache_(cfg.cache) {}
+
+Status SegmentStore::addContainer(uint32_t containerId) {
+    if (containers_.contains(containerId)) {
+        return Status(Err::AlreadyExists, "container already hosted");
+    }
+    auto container = std::make_unique<SegmentContainer>(exec_, containerId, walEnv_, host_, lts_,
+                                                        cache_, cfg_.container);
+    Status started = container->start();
+    if (!started) return started;
+    containers_[containerId] = std::move(container);
+    return Status::ok();
+}
+
+void SegmentStore::removeContainer(uint32_t containerId) {
+    auto it = containers_.find(containerId);
+    if (it == containers_.end()) return;
+    it->second->shutdown();
+    containers_.erase(it);
+}
+
+SegmentContainer* SegmentStore::container(uint32_t containerId) {
+    auto it = containers_.find(containerId);
+    return it == containers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<uint32_t> SegmentStore::containerIds() const {
+    std::vector<uint32_t> out;
+    out.reserve(containers_.size());
+    for (const auto& [id, c] : containers_) out.push_back(id);
+    return out;
+}
+
+std::map<SegmentId, SegmentRate> SegmentStore::drainRates() {
+    std::map<SegmentId, SegmentRate> out;
+    for (auto& [id, c] : containers_) {
+        for (auto& [seg, rate] : c->drainRates()) {
+            auto& agg = out[seg];
+            agg.bytes += rate.bytes;
+            agg.events += rate.events;
+        }
+    }
+    return out;
+}
+
+}  // namespace pravega::segmentstore

@@ -1,0 +1,67 @@
+// SegmentStore: a data-plane server instance (§2.2). Its main role is to
+// host segment containers; requests are routed to the container that owns
+// the segment via the stateless uniform hash. The store also charges
+// request-handling CPU, which is what saturates first in some of the
+// paper's high-parallelism scenarios.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "lts/chunk_storage.h"
+#include "segmentstore/cache.h"
+#include "segmentstore/container.h"
+#include "sim/models.h"
+#include "sim/network.h"
+#include "wal/log_client.h"
+
+namespace pravega::segmentstore {
+
+class SegmentStore {
+public:
+    struct Config {
+        ContainerConfig container;
+        sim::CpuModel::Config cpu;
+        BlockCache::Config cache;
+    };
+
+    SegmentStore(sim::Executor& exec, sim::HostId host, wal::WalEnv walEnv,
+                 lts::ChunkStorage& lts, Config cfg);
+
+    sim::HostId host() const { return host_; }
+
+    /// Starts hosting a container (runs recovery). Part of normal startup
+    /// and of re-distribution after another store's crash (§4.4).
+    Status addContainer(uint32_t containerId);
+
+    /// Stops hosting a container (simulated crash / graceful handoff).
+    void removeContainer(uint32_t containerId);
+
+    SegmentContainer* container(uint32_t containerId);
+    bool hasContainer(uint32_t containerId) const { return containers_.contains(containerId); }
+    std::vector<uint32_t> containerIds() const;
+
+    /// Charges request-handling CPU for a request carrying `bytes`.
+    sim::Future<sim::Unit> chargeRequest(uint64_t bytes) { return cpu_.execute(bytes); }
+
+    BlockCache& cache() { return cache_; }
+    sim::CpuModel& cpu() { return cpu_; }
+
+    /// Aggregated per-segment rates across hosted containers (feedback
+    /// loop to the control plane, §3.1) plus total bytes for Fig 13's
+    /// per-segment-store load series.
+    std::map<SegmentId, SegmentRate> drainRates();
+
+private:
+    sim::Executor& exec_;
+    sim::HostId host_;
+    wal::WalEnv walEnv_;
+    lts::ChunkStorage& lts_;
+    Config cfg_;
+    sim::CpuModel cpu_;
+    BlockCache cache_;
+    std::map<uint32_t, std::unique_ptr<SegmentContainer>> containers_;
+};
+
+}  // namespace pravega::segmentstore

@@ -1,0 +1,345 @@
+#include "segmentstore/storage_writer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/serde.h"
+#include "segmentstore/container.h"
+
+namespace pravega::segmentstore {
+
+namespace {
+constexpr const char* kLog = "storage-writer";
+}
+
+Bytes ChunkRecord::serialize() const {
+    Bytes out;
+    BinaryWriter w(out);
+    w.str(name);
+    w.i64(startOffset);
+    w.i64(length);
+    return out;
+}
+
+Result<ChunkRecord> ChunkRecord::deserialize(BytesView data) {
+    BinaryReader r(data);
+    auto name = r.str();
+    auto startOffset = r.i64();
+    auto length = r.i64();
+    if (!name || !startOffset || !length) return Status(Err::IoError, "corrupt chunk record");
+    return ChunkRecord{std::move(name.value()), startOffset.value(), length.value()};
+}
+
+StorageWriter::StorageWriter(sim::Executor& exec, SegmentContainer& container,
+                             lts::ChunkStorage& storage, StorageWriterConfig cfg)
+    : exec_(exec), container_(container), storage_(storage), cfg_(cfg) {}
+
+void StorageWriter::start() {
+    if (running_) return;
+    running_ = true;
+    uint64_t epoch = ++timerEpoch_;
+    exec_.scheduleWeak(cfg_.scanInterval, [this, epoch]() {
+        if (epoch != timerEpoch_ || !running_) return;
+        running_ = false;
+        start();  // re-arm, then scan
+        scan();
+    });
+}
+
+void StorageWriter::stop() {
+    running_ = false;
+    ++timerEpoch_;
+}
+
+std::string StorageWriter::chunkKey(SegmentId segment, int64_t index) const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "chunks/%016llx/%012lld",
+                  static_cast<unsigned long long>(segment), static_cast<long long>(index));
+    return buf;
+}
+
+std::string StorageWriter::chunkName(SegmentId segment, int64_t startOffset) const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "seg-%016llx-%012lld",
+                  static_cast<unsigned long long>(segment), static_cast<long long>(startOffset));
+    return buf;
+}
+
+void StorageWriter::queueAppend(SegmentId segment, int64_t offset, SharedBuf data,
+                                int64_t walSequence) {
+    auto& state = segments_[segment];
+    if (state.deleted) return;
+    // Drop bytes already durable in LTS (recovery replays the WAL tail,
+    // which may overlap the flushed prefix).
+    auto info = container_.getInfo(segment);
+    if (info && offset + static_cast<int64_t>(data.size()) <= info.value().storageLength) {
+        return;
+    }
+    if (state.pending.empty()) state.oldestPending = exec_.now();
+    state.pendingBytes += data.size();
+    pendingBytes_ += data.size();
+    state.pending.push_back(PendingAppend{offset, std::move(data), walSequence});
+}
+
+void StorageWriter::notifyDeleted(SegmentId segment) {
+    auto it = segments_.find(segment);
+    if (it != segments_.end()) {
+        pendingBytes_ -= it->second.pendingBytes;
+        it->second.pending.clear();
+        it->second.pendingBytes = 0;
+        it->second.deleted = true;
+    }
+    // Chunk removal is best-effort and asynchronous.
+    auto chunks = container_.tableScan(container_.systemTableSegment(),
+                                       chunkKey(segment, 0).substr(0, 24));
+    for (const auto& [key, value] : chunks) {
+        auto rec = ChunkRecord::deserialize(value.value);
+        if (rec) storage_.remove(rec.value().name);
+    }
+}
+
+void StorageWriter::scan() {
+    for (auto& [segment, state] : segments_) {
+        if (state.flushing || state.deleted || state.pending.empty()) continue;
+        if (activeFlushes_ >= cfg_.maxConcurrentFlushes) break;
+        bool sizeReady = state.pendingBytes >= cfg_.flushSizeBytes;
+        bool ageReady = exec_.now() - state.oldestPending >= cfg_.flushTimeout;
+        if (sizeReady || ageReady) flushSegment(segment, state);
+    }
+}
+
+void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
+    // Current durable frontier from chunk metadata; anything below it is
+    // already in LTS (makes flush retries and recovery overlap idempotent).
+    auto chunks = container_.tableScan(container_.systemTableSegment(),
+                                       chunkKey(segment, 0).substr(0, 24));
+    ChunkRecord last;
+    int64_t lastIndex = -1;
+    int64_t lastVersion = kNotExists;
+    if (!chunks.empty()) {
+        auto rec = ChunkRecord::deserialize(chunks.back().second.value);
+        if (rec) {
+            last = rec.value();
+            lastIndex = static_cast<int64_t>(chunks.size()) - 1;
+            lastVersion = chunks.back().second.version;
+        }
+    }
+    int64_t storageStart = lastIndex >= 0 ? last.startOffset + last.length : 0;
+
+    // Aggregate pending appends into one contiguous write (§4.3: "it
+    // buffers small appends into larger writes to LTS"). Entries stay in
+    // the queue until the flush succeeds so flushedWalSequence() cannot
+    // advance (and truncate the WAL) past data not yet durable in LTS.
+    Bytes buffer;
+    buffer.reserve(std::min<uint64_t>(state.pendingBytes, cfg_.flushSizeBytes * 2));
+    size_t flushCount = 0;
+    uint64_t flushBytes = 0;
+    int64_t cursor = -1;
+    for (const auto& entry : state.pending) {
+        if (buffer.size() >= cfg_.flushSizeBytes * 2) break;
+        int64_t end = entry.offset + static_cast<int64_t>(entry.data.size());
+        if (end <= storageStart) {
+            // Entirely below the durable frontier (replayed prefix).
+            ++flushCount;
+            flushBytes += entry.data.size();
+            continue;
+        }
+        int64_t from = std::max<int64_t>(0, storageStart - entry.offset);
+        if (cursor < 0) cursor = entry.offset + from;
+        assert(entry.offset + from == cursor && "storage queue must be contiguous");
+        auto view = entry.data.view().subspan(static_cast<size_t>(from));
+        append(buffer, view);
+        cursor = end;
+        ++flushCount;
+        flushBytes += entry.data.size();
+    }
+    if (buffer.empty()) {
+        // Nothing new to write (all below the frontier): just retire.
+        for (size_t i = 0; i < flushCount; ++i) state.pending.pop_front();
+        state.pendingBytes -= flushBytes;
+        pendingBytes_ -= flushBytes;
+        if (!state.pending.empty()) state.oldestPending = exec_.now();
+        container_.onStorageProgress();
+        return;
+    }
+
+    state.flushing = true;
+    ++activeFlushes_;
+
+    // Build the per-chunk write plan, rolling chunks at maxChunkBytes.
+    struct FlushPlan {
+        std::string chunk;
+        std::string key;
+        int64_t version;     // expected table version for the metadata CAS
+        ChunkRecord record;  // record after this write
+        Bytes data;
+        bool createChunk;
+    };
+    auto plans = std::make_shared<std::vector<FlushPlan>>();
+    size_t pos = 0;
+    int64_t offset = storageStart;
+    while (pos < buffer.size()) {
+        bool needNew = lastIndex < 0 ||
+                       last.length >= static_cast<int64_t>(cfg_.maxChunkBytes);
+        if (needNew) {
+            ++lastIndex;
+            last = ChunkRecord{chunkName(segment, offset), offset, 0};
+            lastVersion = kNotExists;
+        }
+        size_t room = cfg_.maxChunkBytes - static_cast<size_t>(last.length);
+        size_t n = std::min(room, buffer.size() - pos);
+        FlushPlan plan;
+        plan.chunk = last.name;
+        plan.key = chunkKey(segment, lastIndex);
+        plan.version = lastVersion;
+        plan.createChunk = (lastVersion == kNotExists);
+        plan.data.assign(buffer.begin() + static_cast<long>(pos),
+                         buffer.begin() + static_cast<long>(pos + n));
+        last.length += static_cast<int64_t>(n);
+        plan.record = last;
+        plans->push_back(std::move(plan));
+        pos += n;
+        offset += static_cast<int64_t>(n);
+        lastVersion = kAnyVersion;  // subsequent writes in this flush chain
+    }
+
+    // Execute plans sequentially: create-if-needed, append, record metadata
+    // via a conditional table update, then continue or finish.
+    auto runPlan = std::make_shared<std::function<void(size_t)>>();
+    int64_t finalLength = cursor;
+    *runPlan = [this, segment, plans, runPlan, finalLength, flushCount,
+                flushBytes](size_t i) {
+        auto& st = segments_[segment];
+        if (i >= plans->size()) {
+            // Success: retire the flushed entries.
+            for (size_t k = 0; k < flushCount && !st.pending.empty(); ++k) {
+                st.pending.pop_front();
+            }
+            st.pendingBytes -= std::min<uint64_t>(flushBytes, st.pendingBytes);
+            pendingBytes_ -= std::min<uint64_t>(flushBytes, pendingBytes_);
+            if (!st.pending.empty()) st.oldestPending = exec_.now();
+            st.flushing = false;
+            --activeFlushes_;
+            container_.onSegmentFlushed(segment, finalLength);
+            container_.onStorageProgress();
+            // Keep draining a backlogged segment immediately instead of
+            // waiting for the next scan tick (the drain must be limited by
+            // LTS, not by the scan cadence).
+            if (st.pendingBytes >= cfg_.flushSizeBytes && running_) {
+                exec_.post([this, segment]() {
+                    auto it = segments_.find(segment);
+                    if (it != segments_.end() && !it->second.flushing &&
+                        !it->second.deleted && running_ &&
+                        activeFlushes_ < cfg_.maxConcurrentFlushes) {
+                        flushSegment(segment, it->second);
+                    }
+                });
+            }
+            // Break the runPlan → closure → runPlan ownership cycle once
+            // the chain has unwound.
+            exec_.post([runPlan]() { *runPlan = nullptr; });
+            return;
+        }
+        auto runAppend = [this, plans, runPlan, i, segment]() {
+            auto& plan = (*plans)[i];
+            uint64_t n = plan.data.size();
+            storage_.append(plan.chunk, SharedBuf(std::move(plan.data)))
+                .onComplete([this, plans, runPlan, i, n,
+                             segment](const Result<sim::Unit>& r) {
+                    auto& st2 = segments_[segment];
+                    if (!r.isOk()) {
+                        // Leave the queue untouched; the next scan retries
+                        // and the durable-frontier trim keeps it idempotent.
+                        PLOG_WARN(kLog, "LTS append failed (%s); will retry",
+                                  r.status().toString().c_str());
+                        st2.flushing = false;
+                        --activeFlushes_;
+                        exec_.post([runPlan]() { *runPlan = nullptr; });
+                        return;
+                    }
+                    flushedBytes_ += n;
+                    std::vector<TableUpdate> batch;
+                    TableUpdate u;
+                    u.key = (*plans)[i].key;
+                    u.value = (*plans)[i].record.serialize();
+                    u.expectedVersion = (*plans)[i].version;
+                    batch.push_back(std::move(u));
+                    container_.tableUpdate(container_.systemTableSegment(), std::move(batch))
+                        .onComplete([runPlan, i](const Result<std::vector<int64_t>>& tr) {
+                            if (!tr.isOk()) {
+                                PLOG_WARN(kLog, "chunk metadata update failed: %s",
+                                          tr.status().toString().c_str());
+                            }
+                            (*runPlan)(i + 1);
+                        });
+                });
+        };
+        if ((*plans)[i].createChunk) {
+            storage_.create((*plans)[i].chunk)
+                .onComplete([runAppend](const Result<sim::Unit>&) { runAppend(); });
+        } else {
+            runAppend();
+        }
+    };
+    (*runPlan)(0);
+}
+
+Result<int64_t> StorageWriter::reconcileSegment(SegmentId segment) {
+    auto chunks = container_.tableScan(container_.systemTableSegment(),
+                                       chunkKey(segment, 0).substr(0, 24));
+    if (chunks.empty()) return static_cast<int64_t>(0);
+    auto rec = ChunkRecord::deserialize(chunks.back().second.value);
+    if (!rec) return rec.status();
+    ChunkRecord last = rec.value();
+    // A chunk longer than its record means a flush landed whose metadata
+    // update was lost with the WAL tail; adopt the actual length.
+    auto actual = storage_.stat(last.name);
+    if (actual && static_cast<int64_t>(actual.value().length) > last.length) {
+        last.length = static_cast<int64_t>(actual.value().length);
+        std::vector<TableUpdate> fix;
+        TableUpdate u;
+        u.key = chunks.back().first;
+        u.value = last.serialize();
+        fix.push_back(std::move(u));
+        container_.tableUpdate(container_.systemTableSegment(), std::move(fix));
+    }
+    return last.startOffset + last.length;
+}
+
+Result<ChunkRecord> StorageWriter::findChunk(SegmentId segment, int64_t offset) const {
+    auto chunks = container_.tableScan(container_.systemTableSegment(),
+                                       chunkKey(segment, 0).substr(0, 24));
+    // Records are ordered by chunk index == offset order; linear scan from
+    // the back finds the covering chunk (reads cluster near recent data).
+    for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+        auto rec = ChunkRecord::deserialize(it->second.value);
+        if (!rec) continue;
+        if (rec.value().startOffset <= offset &&
+            offset < rec.value().startOffset + rec.value().length) {
+            return rec.value();
+        }
+    }
+    return Status(Err::NotFound, "no chunk covers offset");
+}
+
+uint64_t StorageWriter::maxSegmentPendingBytes() const {
+    uint64_t worst = 0;
+    for (const auto& [segment, state] : segments_) {
+        worst = std::max(worst, state.pendingBytes);
+    }
+    return worst;
+}
+
+int64_t StorageWriter::flushedWalSequence() const {
+    int64_t minPending = INT64_MAX;
+    for (const auto& [segment, state] : segments_) {
+        if (!state.pending.empty()) {
+            minPending = std::min(minPending, state.pending.front().walSequence);
+        }
+    }
+    if (minPending == INT64_MAX) return container_.lastAppliedSequence();
+    return minPending - 1;
+}
+
+}  // namespace pravega::segmentstore

@@ -1,0 +1,120 @@
+#include "segmentstore/table_segment.h"
+
+namespace pravega::segmentstore {
+
+Status TableIndex::validate(const std::vector<TableUpdate>& batch) const {
+    for (const auto& u : batch) {
+        auto it = entries_.find(u.key);
+        if (u.expectedVersion == kAnyVersion) continue;
+        if (u.expectedVersion == kNotExists) {
+            if (it != entries_.end()) {
+                return Status(Err::BadVersion, "key exists: " + u.key);
+            }
+            continue;
+        }
+        if (it == entries_.end() || it->second.version != u.expectedVersion) {
+            return Status(Err::BadVersion, "version mismatch: " + u.key);
+        }
+    }
+    return Status::ok();
+}
+
+std::vector<int64_t> TableIndex::apply(const std::vector<TableUpdate>& batch) {
+    std::vector<int64_t> versions;
+    versions.reserve(batch.size());
+    for (const auto& u : batch) {
+        if (u.value) {
+            int64_t v = nextVersion_++;
+            entries_[u.key] = TableValue{*u.value, v};
+            versions.push_back(v);
+        } else {
+            entries_.erase(u.key);
+            versions.push_back(-1);
+        }
+    }
+    return versions;
+}
+
+Result<TableValue> TableIndex::get(const std::string& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return Status(Err::NotFound, key);
+    return it->second;
+}
+
+std::vector<std::pair<std::string, TableValue>> TableIndex::scanPrefix(
+    const std::string& prefix) const {
+    std::vector<std::pair<std::string, TableValue>> out;
+    for (auto it = entries_.lower_bound(prefix); it != entries_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+        out.push_back(*it);
+    }
+    return out;
+}
+
+void TableIndex::serialize(BinaryWriter& w) const {
+    w.i64(nextVersion_);
+    w.varint(entries_.size());
+    for (const auto& [key, tv] : entries_) {
+        w.str(key);
+        w.bytes(tv.value);
+        w.i64(tv.version);
+    }
+}
+
+Status TableIndex::deserialize(BinaryReader& r) {
+    auto nv = r.i64();
+    auto n = r.varint();
+    if (!nv || !n) return Status(Err::IoError, "corrupt table snapshot");
+    entries_.clear();
+    nextVersion_ = nv.value();
+    for (uint64_t i = 0; i < n.value(); ++i) {
+        auto key = r.str();
+        auto value = r.bytes();
+        auto version = r.i64();
+        if (!key || !value || !version) return Status(Err::IoError, "corrupt table entry");
+        entries_[key.value()] = TableValue{std::move(value.value()), version.value()};
+    }
+    return Status::ok();
+}
+
+void TableIndex::serializeBatch(const std::vector<TableUpdate>& batch, BinaryWriter& w) {
+    w.varint(batch.size());
+    for (const auto& u : batch) {
+        w.str(u.key);
+        w.u8(u.value ? 1 : 0);
+        if (u.value) w.bytes(*u.value);
+        w.i64(u.expectedVersion);
+    }
+}
+
+Result<std::vector<TableUpdate>> TableIndex::deserializeBatch(BinaryReader& r) {
+    auto n = r.varint();
+    if (!n) return n.status();
+    // Validate the count against the bytes actually present (every update
+    // occupies at least 3 bytes) before reserving: corrupt inputs must fail
+    // cleanly, not allocate unbounded memory.
+    if (n.value() > r.remaining() / 3 + 1) {
+        return Status(Err::IoError, "implausible batch count");
+    }
+    std::vector<TableUpdate> batch;
+    batch.reserve(n.value());
+    for (uint64_t i = 0; i < n.value(); ++i) {
+        TableUpdate u;
+        auto key = r.str();
+        auto hasValue = r.u8();
+        if (!key || !hasValue) return Status(Err::IoError, "corrupt update batch");
+        u.key = std::move(key.value());
+        if (hasValue.value()) {
+            auto value = r.bytes();
+            if (!value) return value.status();
+            u.value = std::move(value.value());
+        }
+        auto ev = r.i64();
+        if (!ev) return ev.status();
+        u.expectedVersion = ev.value();
+        batch.push_back(std::move(u));
+    }
+    return batch;
+}
+
+}  // namespace pravega::segmentstore

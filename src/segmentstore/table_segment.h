@@ -1,0 +1,70 @@
+// Table segments: the key-value store built on segments that Pravega uses
+// for its own metadata — controller stream records (§2.2) and LTS chunk
+// metadata (§4.3). Updates support conditional (version-checked) writes and
+// multi-key transactions applied atomically; "this guarantees that
+// concurrent operations will never leave the metadata in an inconsistent
+// state" (§4.3).
+//
+// This class is the in-memory index plus (de)serialization of update
+// batches; durability comes from the segment container, which routes each
+// batch through the WAL as a TableUpdate operation and replays them (or a
+// checkpoint snapshot) on recovery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/serde.h"
+
+namespace pravega::segmentstore {
+
+/// Version sentinels for conditional updates.
+constexpr int64_t kAnyVersion = -1;   // unconditional
+constexpr int64_t kNotExists = -2;    // key must not exist
+
+struct TableUpdate {
+    std::string key;
+    std::optional<Bytes> value;  // nullopt = removal
+    int64_t expectedVersion = kAnyVersion;
+};
+
+struct TableValue {
+    Bytes value;
+    int64_t version = 0;
+};
+
+class TableIndex {
+public:
+    /// Validates a batch against current versions without applying it.
+    Status validate(const std::vector<TableUpdate>& batch) const;
+
+    /// Applies a batch atomically (call validate first on the ingest path;
+    /// recovery replays pre-validated batches). Returns the versions
+    /// assigned to each update, in order (removals get -1).
+    std::vector<int64_t> apply(const std::vector<TableUpdate>& batch);
+
+    Result<TableValue> get(const std::string& key) const;
+    bool contains(const std::string& key) const { return entries_.contains(key); }
+    size_t size() const { return entries_.size(); }
+
+    /// Ordered iteration (used by chunk-metadata scans and tests).
+    std::vector<std::pair<std::string, TableValue>> scanPrefix(const std::string& prefix) const;
+
+    /// Checkpoint support.
+    void serialize(BinaryWriter& w) const;
+    Status deserialize(BinaryReader& r);
+
+    static void serializeBatch(const std::vector<TableUpdate>& batch, BinaryWriter& w);
+    static Result<std::vector<TableUpdate>> deserializeBatch(BinaryReader& r);
+
+private:
+    std::map<std::string, TableValue> entries_;
+    int64_t nextVersion_ = 1;
+};
+
+}  // namespace pravega::segmentstore

@@ -1,0 +1,42 @@
+#include "sim/executor.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pravega::sim {
+
+void Executor::push(Duration delay, Task fn, bool weak) {
+    assert(delay >= 0 && "cannot schedule into the past");
+    if (!weak) ++regularPending_;
+    queue_.push(Entry{now_ + delay, seq_++, weak, std::move(fn)});
+}
+
+bool Executor::runOne() {
+    if (queue_.empty()) return false;
+    // priority_queue::top() is const; move out via const_cast, standard idiom
+    // for pop-and-consume queues of move-only payloads.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (!e.weak) --regularPending_;
+    now_ = e.at;
+    e.fn();
+    return true;
+}
+
+uint64_t Executor::runUntilIdle() {
+    uint64_t n = 0;
+    while (regularPending_ > 0 && runOne()) ++n;
+    return n;
+}
+
+uint64_t Executor::runUntil(TimePoint deadline) {
+    uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().at <= deadline) {
+        runOne();
+        ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+}  // namespace pravega::sim

@@ -1,0 +1,76 @@
+// Discrete-event executor: a priority queue of timed callbacks over virtual
+// time. Single-threaded by design — all "concurrency" in the system is
+// interleaving of events, which keeps every run deterministic.
+//
+// Tasks come in two strengths. Regular tasks represent pending work; WEAK
+// tasks are self-rearming background timers (cache policy, storage-writer
+// scans, dispatch ticks). `runUntilIdle()` runs until no regular task
+// remains — weak timers never keep the system "busy" — while `runUntil`/
+// `runFor` advance virtual time and run everything scheduled within it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pravega::sim {
+
+class Executor {
+public:
+    using Task = std::function<void()>;
+
+    TimePoint now() const { return now_; }
+
+    /// Runs `fn` after `delay` (>= 0) of virtual time.
+    void schedule(Duration delay, Task fn) { push(delay, std::move(fn), /*weak=*/false); }
+
+    /// Weak variant for self-rearming background timers: does not count
+    /// toward `runUntilIdle`'s idleness.
+    void scheduleWeak(Duration delay, Task fn) { push(delay, std::move(fn), /*weak=*/true); }
+
+    /// Runs `fn` at the current time, after already-queued same-time tasks.
+    void post(Task fn) { schedule(0, std::move(fn)); }
+
+    /// Runs events until no REGULAR task remains (weak timers may still be
+    /// queued). Returns the number of events executed.
+    uint64_t runUntilIdle();
+
+    /// Runs events with timestamp <= deadline (regular and weak); advances
+    /// the clock to `deadline` even if the queue drains earlier.
+    uint64_t runUntil(TimePoint deadline);
+
+    /// Runs for `d` of virtual time from now.
+    uint64_t runFor(Duration d) { return runUntil(now_ + d); }
+
+    /// Runs a single event if one exists; returns false when idle.
+    bool runOne();
+
+    size_t pendingTasks() const { return queue_.size(); }
+    size_t pendingRegularTasks() const { return regularPending_; }
+
+private:
+    struct Entry {
+        TimePoint at;
+        uint64_t seq;  // FIFO tie-break for same-time events
+        bool weak;
+        Task fn;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    void push(Duration delay, Task fn, bool weak);
+
+    TimePoint now_ = 0;
+    uint64_t seq_ = 0;
+    size_t regularPending_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace pravega::sim

@@ -1,0 +1,150 @@
+// Single-threaded Future/Promise for the discrete-event substrate.
+//
+// Continuations run synchronously when the promise completes (all code runs
+// on the one executor thread, so no synchronization is needed). `Unit`
+// stands in for `void` to avoid a template specialization.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pravega::sim {
+
+struct Unit {};
+
+template <typename T>
+class Promise;
+
+template <typename T>
+class Future {
+public:
+    using Callback = std::function<void(const pravega::Result<T>&)>;
+
+    Future() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    bool isReady() const { return state_ && state_->result.has_value(); }
+
+    const pravega::Result<T>& result() const {
+        assert(isReady());
+        return *state_->result;
+    }
+
+    /// Registers `cb`; runs immediately if already completed.
+    void onComplete(Callback cb) const {
+        assert(state_);
+        if (state_->result) {
+            cb(*state_->result);
+        } else {
+            state_->callbacks.push_back(std::move(cb));
+        }
+    }
+
+    /// Chains a transformation `fn(const T&) -> U`; errors short-circuit.
+    template <typename F>
+    auto then(F fn) const -> Future<std::invoke_result_t<F, const T&>> {
+        using U = std::invoke_result_t<F, const T&>;
+        Promise<U> p;
+        auto fut = p.future();
+        onComplete([p, fn = std::move(fn)](const pravega::Result<T>& r) mutable {
+            if (r.isOk()) {
+                p.setValue(fn(r.value()));
+            } else {
+                p.setError(r.status());
+            }
+        });
+        return fut;
+    }
+
+    /// Chains an async continuation `fn(const T&) -> Future<U>`.
+    template <typename F>
+    auto thenAsync(F fn) const -> std::invoke_result_t<F, const T&> {
+        using FutU = std::invoke_result_t<F, const T&>;
+        using U = typename FutU::ValueType;
+        Promise<U> p;
+        auto fut = p.future();
+        onComplete([p, fn = std::move(fn)](const pravega::Result<T>& r) mutable {
+            if (!r.isOk()) {
+                p.setError(r.status());
+                return;
+            }
+            fn(r.value()).onComplete(
+                [p](const pravega::Result<U>& inner) mutable { p.complete(inner); });
+        });
+        return fut;
+    }
+
+    using ValueType = T;
+
+    static Future<T> ready(T value) {
+        Promise<T> p;
+        p.setValue(std::move(value));
+        return p.future();
+    }
+
+    static Future<T> failed(pravega::Status s) {
+        Promise<T> p;
+        p.setError(std::move(s));
+        return p.future();
+    }
+
+private:
+    friend class Promise<T>;
+    struct State {
+        std::optional<pravega::Result<T>> result;
+        std::vector<Callback> callbacks;
+    };
+    explicit Future(std::shared_ptr<State> s) : state_(std::move(s)) {}
+    std::shared_ptr<State> state_;
+};
+
+template <typename T>
+class Promise {
+public:
+    Promise() : state_(std::make_shared<typename Future<T>::State>()) {}
+
+    Future<T> future() const { return Future<T>(state_); }
+
+    void setValue(T value) { complete(pravega::Result<T>(std::move(value))); }
+    void setError(pravega::Status s) { complete(pravega::Result<T>(std::move(s))); }
+    void setError(pravega::Err code, std::string msg = {}) {
+        setError(pravega::Status(code, std::move(msg)));
+    }
+
+    void complete(pravega::Result<T> r) {
+        assert(!state_->result && "promise completed twice");
+        state_->result.emplace(std::move(r));
+        auto cbs = std::move(state_->callbacks);
+        state_->callbacks.clear();
+        for (auto& cb : cbs) cb(*state_->result);
+    }
+
+    bool isCompleted() const { return state_->result.has_value(); }
+
+private:
+    std::shared_ptr<typename Future<T>::State> state_;
+};
+
+/// Completes (with Unit) once all `futures` have completed, regardless of
+/// their individual outcomes; callers keep copies to inspect results.
+template <typename T>
+Future<Unit> whenAll(const std::vector<Future<T>>& futures) {
+    if (futures.empty()) return Future<Unit>::ready(Unit{});
+    auto remaining = std::make_shared<size_t>(futures.size());
+    Promise<Unit> p;
+    auto fut = p.future();
+    for (const auto& f : futures) {
+        f.onComplete([remaining, p](const pravega::Result<T>&) mutable {
+            if (--*remaining == 0) p.setValue(Unit{});
+        });
+    }
+    return fut;
+}
+
+}  // namespace pravega::sim

@@ -1,0 +1,85 @@
+#include "sim/models.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pravega::sim {
+
+QueuedResource::QueuedResource(Executor& exec, int lanes) : exec_(exec) {
+    assert(lanes > 0);
+    laneFree_.assign(static_cast<size_t>(lanes), 0);
+}
+
+TimePoint QueuedResource::earliestStart() const {
+    TimePoint earliest = laneFree_[0];
+    for (TimePoint t : laneFree_) earliest = std::min(earliest, t);
+    return std::max(earliest, exec_.now());
+}
+
+Duration QueuedResource::backlog() const {
+    Duration total = 0;
+    for (TimePoint t : laneFree_) total += std::max<Duration>(0, t - exec_.now());
+    return total;
+}
+
+Future<Unit> QueuedResource::acquire(Duration work) {
+    size_t best = 0;
+    for (size_t i = 1; i < laneFree_.size(); ++i) {
+        if (laneFree_[i] < laneFree_[best]) best = i;
+    }
+    TimePoint start = std::max(laneFree_[best], exec_.now());
+    TimePoint done = start + work;
+    laneFree_[best] = done;
+
+    Promise<Unit> p;
+    exec_.schedule(done - exec_.now(), [p]() mutable { p.setValue(Unit{}); });
+    return p.future();
+}
+
+DiskModel::DiskModel(Executor& exec, Config cfg) : exec_(exec), cfg_(cfg) {}
+
+Future<Unit> DiskModel::write(uint64_t fileId, uint64_t bytes, bool fsync) {
+    Duration work = cfg_.writeLatency + transferTime(bytes, cfg_.bytesPerSec);
+    if (fileId != lastFile_) work += cfg_.fileSwitchPenalty;
+    if (fsync) work += cfg_.fsyncLatency;
+    lastFile_ = fileId;
+    bytesWritten_ += bytes;
+
+    TimePoint start = std::max(nextFree_, exec_.now());
+    nextFree_ = start + work;
+
+    Promise<Unit> p;
+    exec_.schedule(nextFree_ - exec_.now(), [p]() mutable { p.setValue(Unit{}); });
+    return p.future();
+}
+
+void Link::deliver(uint64_t bytes, Executor::Task fn) {
+    TimePoint start = std::max(nextFree_, exec_.now());
+    nextFree_ = start + transferTime(bytes, cfg_.bytesPerSec);
+    bytesSent_ += bytes;
+    TimePoint arrive = nextFree_ + cfg_.latency;
+    exec_.schedule(arrive - exec_.now(), std::move(fn));
+}
+
+ObjectStoreModel::ObjectStoreModel(Executor& exec, Config cfg)
+    : exec_(exec), cfg_(cfg), lanes_(exec, cfg.maxConcurrent) {}
+
+Future<Unit> ObjectStoreModel::transfer(uint64_t bytes) {
+    bytesTransferred_ += bytes;
+    // Per-stream time for this transfer...
+    Duration streamTime = cfg_.opLatency + transferTime(bytes, cfg_.perStreamBytesPerSec);
+    // ...but the shared pipe also advances; when many transfers run in
+    // parallel the aggregate cap dominates and transfers queue behind it.
+    TimePoint aggStart = std::max(aggCursor_, exec_.now());
+    aggCursor_ = aggStart + transferTime(bytes, cfg_.aggregateBytesPerSec);
+
+    Duration laneWork = std::max(streamTime, aggCursor_ - exec_.now());
+    return lanes_.acquire(laneWork);
+}
+
+double ObjectStoreModel::backlogSeconds() const {
+    Duration aggLag = std::max<Duration>(0, aggCursor_ - exec_.now());
+    return toSeconds(std::max(aggLag, lanes_.backlog() / std::max(1, cfg_.maxConcurrent)));
+}
+
+}  // namespace pravega::sim

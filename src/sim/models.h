@@ -1,0 +1,161 @@
+// Hardware models for the discrete-event substrate.
+//
+// These stand in for the paper's AWS testbed (§5.1): NVMe journal drives
+// (DiskModel), the 10GbE network between clients and servers (Link), server
+// CPUs (CpuModel), and EFS/S3 long-term storage (ObjectStoreModel). Each
+// model turns a request into a virtual-time completion; all algorithmic
+// behaviour (batching, multiplexing, tiering) lives above this layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/future.h"
+#include "sim/time.h"
+
+namespace pravega::sim {
+
+/// A resource with `lanes` parallel servers and FIFO queueing: requests of
+/// a given duration occupy the earliest-free lane. Lanes model, e.g.,
+/// parallel connections to an object store.
+class QueuedResource {
+public:
+    QueuedResource(Executor& exec, int lanes);
+
+    /// Occupies a lane for `work` time; the future completes when done.
+    Future<Unit> acquire(Duration work);
+
+    /// Earliest time a new request could start (for monitoring/backpressure).
+    TimePoint earliestStart() const;
+
+    /// Total queued-but-unfinished work (for backpressure decisions).
+    Duration backlog() const;
+
+private:
+    Executor& exec_;
+    std::vector<TimePoint> laneFree_;
+};
+
+/// An NVMe-like drive with a serialized write head, per-write base cost,
+/// fsync cost, and a penalty for switching between log files. The switch
+/// penalty is what makes "one log file per partition" designs (Kafka-like)
+/// degrade at high partition counts (§5.6) while multiplexed designs
+/// (Pravega segment containers, BookKeeper journals) stay efficient.
+class DiskModel {
+public:
+    struct Config {
+        double bytesPerSec = 800.0 * 1024 * 1024;  // measured via dd in the paper
+        Duration writeLatency = usec(15);          // per-IO submission overhead
+        Duration fsyncLatency = usec(50);          // durable-flush cost
+        Duration fileSwitchPenalty = usec(150);    // cost of targeting a different file
+    };
+
+    DiskModel(Executor& exec, Config cfg);
+
+    /// Appends `bytes` to file `fileId`; `fsync` makes the write durable
+    /// before completion. Writes are serialized at the device.
+    Future<Unit> write(uint64_t fileId, uint64_t bytes, bool fsync);
+
+    /// Device utilization probe: time the head is booked into the future.
+    Duration backlog() const { return std::max<Duration>(0, nextFree_ - exec_.now()); }
+
+    uint64_t bytesWritten() const { return bytesWritten_; }
+    const Config& config() const { return cfg_; }
+
+private:
+    Executor& exec_;
+    Config cfg_;
+    TimePoint nextFree_ = 0;
+    uint64_t lastFile_ = UINT64_MAX;
+    uint64_t bytesWritten_ = 0;
+};
+
+/// One direction of a network link: propagation latency plus serialization
+/// at the link bandwidth. Each Link is point-to-point (client NIC → server
+/// NIC); messages on the same link queue behind each other.
+class Link {
+public:
+    struct Config {
+        Duration latency = usec(250);                 // one-way propagation (intra-AZ)
+        double bytesPerSec = 1.25 * 1024 * 1024 * 1024;  // 10 Gbps
+    };
+
+    Link(Executor& exec, Config cfg) : exec_(exec), cfg_(cfg) {}
+
+    /// Delivers `fn` on the far side after transfer of `bytes`.
+    void deliver(uint64_t bytes, Executor::Task fn);
+
+    uint64_t bytesSent() const { return bytesSent_; }
+
+private:
+    Executor& exec_;
+    Config cfg_;
+    TimePoint nextFree_ = 0;
+    uint64_t bytesSent_ = 0;
+};
+
+/// A server CPU with `cores` parallel execution lanes. Request handling
+/// costs (per request + per byte) queue here; saturation produces the
+/// latency blow-ups seen at each system's maximum throughput.
+class CpuModel {
+public:
+    struct Config {
+        int cores = 16;
+        Duration perRequest = usec(12);    // protocol handling / syscalls
+        double bytesPerSec = 4.0 * 1024 * 1024 * 1024;  // memcpy/checksum rate
+    };
+
+    CpuModel(Executor& exec, Config cfg) : res_(exec, cfg.cores), cfg_(cfg) {}
+
+    /// Charges the cost of handling one request carrying `bytes`.
+    Future<Unit> execute(uint64_t bytes) {
+        return res_.acquire(cfg_.perRequest + transferTime(bytes, cfg_.bytesPerSec));
+    }
+
+    /// Charges an explicit amount of CPU work.
+    Future<Unit> executeFor(Duration d) { return res_.acquire(d); }
+
+    Duration backlog() const { return res_.backlog(); }
+
+private:
+    QueuedResource res_;
+    Config cfg_;
+};
+
+/// Cloud object/file store (EFS, S3): high per-op latency, a per-stream
+/// throughput cap, and a higher aggregate cap reachable only with parallel
+/// transfers — exactly the property Pravega's parallel chunk reads exploit
+/// in §5.7 and that bottlenecks single-segment writes in §5.4.
+class ObjectStoreModel {
+public:
+    struct Config {
+        Duration opLatency = msec(8);
+        double perStreamBytesPerSec = 160.0 * 1024 * 1024;  // paper: ~160 MB/s/transfer
+        double aggregateBytesPerSec = 800.0 * 1024 * 1024;
+        int maxConcurrent = 64;
+    };
+
+    ObjectStoreModel(Executor& exec, Config cfg);
+
+    Future<Unit> put(uint64_t bytes) { return transfer(bytes); }
+    Future<Unit> get(uint64_t bytes) { return transfer(bytes); }
+
+    uint64_t bytesTransferred() const { return bytesTransferred_; }
+
+    /// Estimated seconds of queued work (drives ingest throttling, §4.3).
+    double backlogSeconds() const;
+
+private:
+    Future<Unit> transfer(uint64_t bytes);
+
+    Executor& exec_;
+    Config cfg_;
+    QueuedResource lanes_;
+    TimePoint aggCursor_ = 0;  // virtual finish line of the shared pipe
+    uint64_t bytesTransferred_ = 0;
+};
+
+}  // namespace pravega::sim

@@ -1,0 +1,44 @@
+// Lazily-created point-to-point links between simulated hosts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "sim/models.h"
+
+namespace pravega::sim {
+
+/// Host ids are plain integers assigned by the harness (clients, segment
+/// stores, bookies, brokers each get one).
+using HostId = int;
+
+class Network {
+public:
+    Network(Executor& exec, Link::Config cfg) : exec_(exec), cfg_(cfg) {}
+
+    /// The unidirectional link from `from` to `to` (created on first use).
+    Link& link(HostId from, HostId to) {
+        auto key = std::make_pair(from, to);
+        auto it = links_.find(key);
+        if (it == links_.end()) {
+            it = links_.emplace(key, std::make_unique<Link>(exec_, cfg_)).first;
+        }
+        return *it->second;
+    }
+
+    /// Convenience: deliver `fn` at `to` after sending `bytes` from `from`.
+    void send(HostId from, HostId to, uint64_t bytes, Executor::Task fn) {
+        link(from, to).deliver(bytes, std::move(fn));
+    }
+
+    const Link::Config& config() const { return cfg_; }
+
+private:
+    Executor& exec_;
+    Link::Config cfg_;
+    std::map<std::pair<HostId, HostId>, std::unique_ptr<Link>> links_;
+};
+
+}  // namespace pravega::sim

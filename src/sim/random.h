@@ -1,0 +1,57 @@
+// Deterministic PRNG (xoshiro256**). Every run of a test or benchmark is
+// reproducible bit-for-bit from the seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+
+namespace pravega::sim {
+
+class Rng {
+public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+        for (auto& w : s_) {
+            seed = pravega::mix64(seed);
+            w = seed;
+        }
+    }
+
+    uint64_t next() {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /// Uniform in [0, bound).
+    uint64_t nextBounded(uint64_t bound) { return bound ? next() % bound : 0; }
+
+    /// Uniform double in [0, 1).
+    double nextDouble() { return static_cast<double>(next() >> 11) / static_cast<double>(1ULL << 53); }
+
+    /// Exponentially distributed with the given mean (Poisson inter-arrivals).
+    double nextExp(double mean) {
+        double u = nextDouble();
+        if (u >= 1.0) u = 0.9999999999;
+        return -mean * std::log(1.0 - u);
+    }
+
+    /// Random printable routing key drawn from `space` distinct keys.
+    std::string nextKey(uint64_t space) {
+        return "key-" + std::to_string(nextBounded(space));
+    }
+
+private:
+    static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+    uint64_t s_[4];
+};
+
+}  // namespace pravega::sim

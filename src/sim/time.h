@@ -1,0 +1,32 @@
+// Virtual time. The whole system runs on a discrete-event executor over
+// nanosecond virtual time; these helpers keep units explicit.
+#pragma once
+
+#include <cstdint>
+
+namespace pravega::sim {
+
+/// Nanoseconds since simulation start.
+using TimePoint = int64_t;
+/// Nanoseconds.
+using Duration = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+constexpr Duration usec(double n) { return static_cast<Duration>(n * kMicrosecond); }
+constexpr Duration msec(double n) { return static_cast<Duration>(n * kMillisecond); }
+constexpr Duration sec(double n) { return static_cast<Duration>(n * kSecond); }
+
+constexpr double toSeconds(Duration d) { return static_cast<double>(d) / kSecond; }
+constexpr double toMillis(Duration d) { return static_cast<double>(d) / kMillisecond; }
+
+/// Duration to transfer `bytes` at `bytesPerSec` throughput.
+constexpr Duration transferTime(uint64_t bytes, double bytesPerSec) {
+    if (bytesPerSec <= 0) return 0;
+    return static_cast<Duration>(static_cast<double>(bytes) / bytesPerSec * kSecond);
+}
+
+}  // namespace pravega::sim

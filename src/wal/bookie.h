@@ -1,0 +1,89 @@
+// Bookie: the BookKeeper storage server (§2.2, [40]).
+//
+// A bookie journals every add-entry request to a dedicated drive before
+// acknowledging, and opportunistically groups concurrent requests into one
+// journal write ("third level of aggregation", §4.1): while a journal flush
+// is in flight, new requests accumulate and are flushed together when it
+// completes. Entries are also kept in an in-memory ledger index for reads
+// and ledger recovery (the entry-log device is not on the ack path and is
+// not modeled; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "sim/future.h"
+#include "sim/models.h"
+#include "sim/network.h"
+#include "wal/types.h"
+
+namespace pravega::wal {
+
+class Bookie {
+public:
+    struct Config {
+        /// Journal fsync before ack (default on; Fig 5's Pravega "no flush"
+        /// ablation turns this off).
+        bool journalSync = true;
+        /// Per-entry journal record overhead (headers, checksums).
+        uint64_t entryOverheadBytes = 32;
+        /// Upper bound on one journal group-commit write.
+        uint64_t maxGroupBytes = 4 * 1024 * 1024;
+        /// Per-entry journal processing (header, checksum, index update).
+        /// Thin per-partition entries (Pulsar-style) pay this at high rates;
+        /// multiplexed 1MB frames (Pravega containers) amortize it — the
+        /// paper's §6(ii) multiplexing argument.
+        sim::Duration perEntryLatency = sim::usec(4);
+    };
+
+    Bookie(sim::Executor& exec, sim::HostId host, sim::DiskModel& journalDrive, Config cfg);
+
+    sim::HostId host() const { return host_; }
+
+    /// Journals and stores one entry. Completes after the entry is durable
+    /// (per `journalSync`). Rejects writes to fenced or deleted ledgers.
+    sim::Future<sim::Unit> addEntry(LedgerId ledger, EntryId entry, SharedBuf data);
+
+    /// Fences a ledger: no further adds accepted. Returns the last entry id
+    /// this bookie has (for recovery). Idempotent.
+    Result<EntryId> fenceLedger(LedgerId ledger);
+
+    Result<SharedBuf> readEntry(LedgerId ledger, EntryId entry) const;
+    Result<EntryId> lastEntry(LedgerId ledger) const;
+
+    /// Drops all entries of a ledger (WAL truncation deletes ledgers, §4.3).
+    void deleteLedger(LedgerId ledger);
+
+    uint64_t storedBytes() const { return storedBytes_; }
+
+private:
+    struct PendingAdd {
+        uint64_t journalBytes;
+        sim::Promise<sim::Unit> done;
+    };
+    struct LedgerState {
+        std::map<EntryId, SharedBuf> entries;
+        bool fenced = false;
+    };
+
+    void maybeStartFlush();
+
+    sim::Executor& exec_;
+    sim::HostId host_;
+    sim::DiskModel& journal_;
+    Config cfg_;
+    uint64_t journalFileId_;
+
+    std::deque<PendingAdd> pending_;
+    bool flushInFlight_ = false;
+    std::map<LedgerId, LedgerState> ledgers_;
+    std::set<LedgerId> deleted_;
+    uint64_t storedBytes_ = 0;
+};
+
+}  // namespace pravega::wal

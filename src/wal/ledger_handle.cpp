@@ -1,0 +1,187 @@
+#include "wal/ledger_handle.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace pravega::wal {
+
+LedgerHandle::LedgerHandle(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+                           LedgerRegistry& registry, LedgerId id, ReplicationConfig repl)
+    : exec_(exec),
+      net_(net),
+      clientHost_(clientHost),
+      registry_(registry),
+      id_(id),
+      repl_(repl),
+      alive_(std::make_shared<bool>(true)) {
+    auto* info = registry_.find(id);
+    assert(info && "ledger must exist in the registry");
+    ensemble_ = info->ensemble;
+    assert(static_cast<int>(ensemble_.size()) >= repl_.writeQuorum);
+}
+
+LedgerHandle::~LedgerHandle() { *alive_ = false; }
+
+sim::Future<EntryId> LedgerHandle::addEntry(SharedBuf data) {
+    if (closed_ || fencedOut_) {
+        return sim::Future<EntryId>::failed(
+            Status(fencedOut_ ? Err::Fenced : Err::Sealed, "ledger not writable"));
+    }
+    EntryId entry = nextEntry_++;
+    appendedBytes_ += data.size();
+    unackedBytes_ += data.size();
+    fullUnackedBytes_ += data.size();
+    auto& inf = inFlight_[entry];
+    inf.bytes = data.size();
+    auto fut = inf.done.future();
+
+    const uint64_t wireBytes = data.size() + kWireOverhead;
+    for (int i = 0; i < repl_.writeQuorum; ++i) {
+        Bookie* bookie = ensemble_[static_cast<size_t>(i)];
+        net_.send(clientHost_, bookie->host(), wireBytes,
+                  [this, alive = alive_, bookie, entry, data]() {
+                      if (!*alive) return;
+                      bookie->addEntry(id_, entry, data)
+                          .onComplete([this, alive, bookie, entry](const Result<sim::Unit>& r) {
+                              if (!*alive) return;
+                              // Response travels back to the client.
+                              net_.send(bookie->host(), clientHost_, kWireOverhead,
+                                        [this, alive, entry, r]() {
+                                            if (*alive) onAck(entry, r);
+                                        });
+                          });
+                  });
+    }
+    return fut;
+}
+
+void LedgerHandle::onAck(EntryId entry, const Result<sim::Unit>& r) {
+    auto it = inFlight_.find(entry);
+    if (it == inFlight_.end()) return;  // already resolved (e.g., failure path)
+    auto& inf = it->second;
+    if (!r.isOk()) {
+        if (!inf.confirmed) {
+            inf.failed = true;
+            inf.error = r.status();
+        }
+        if (r.code() == Err::Fenced) fencedOut_ = true;
+    } else {
+        ++inf.acks;
+        if (inf.acks >= repl_.writeQuorum) {
+            // Fully replicated: release the re-replication buffer.
+            fullUnackedBytes_ -= std::min(fullUnackedBytes_, inf.bytes);
+            if (inf.confirmed) {
+                inFlight_.erase(it);
+                return;
+            }
+            inf.acks = repl_.writeQuorum;  // saturate; entry kept until confirmed
+        }
+    }
+    drainConfirmed();
+}
+
+void LedgerHandle::drainConfirmed() {
+    // Entries confirm strictly in entry order: an entry resolves only when
+    // it has an ack quorum AND all earlier entries are confirmed. Fully-
+    // replicated confirmed entries are erased eagerly in onAck; confirmed
+    // entries still short of the full write quorum stay (re-replication
+    // buffer) but do not block later confirmations.
+    for (auto it = inFlight_.begin(); it != inFlight_.end();) {
+        auto& inf = it->second;
+        if (inf.confirmed) {
+            ++it;
+            continue;
+        }
+        if (inf.failed) {
+            // A failed entry poisons the unconfirmed suffix: nothing after
+            // it can confirm in order, so fail them all (the owner
+            // re-opens the log).
+            Status error = inf.error;
+            std::vector<sim::Promise<EntryId>> doomed;
+            for (auto dit = it; dit != inFlight_.end(); ++dit) {
+                if (!dit->second.confirmed) {
+                    doomed.push_back(std::move(dit->second.done));
+                    unackedBytes_ -= std::min(unackedBytes_, dit->second.bytes);
+                    fullUnackedBytes_ -= std::min(fullUnackedBytes_, dit->second.bytes);
+                }
+            }
+            inFlight_.erase(it, inFlight_.end());
+            for (auto& p : doomed) p.setError(error);
+            if (closed_ && !registryClosed_ && inFlight_.empty()) {
+                registryClosed_ = true;
+                registry_.close(id_, lastAddConfirmed_);
+            }
+            return;
+        }
+        if (inf.acks < repl_.ackQuorum) break;
+        EntryId entry = it->first;
+        lastAddConfirmed_ = std::max(lastAddConfirmed_, entry);
+        inf.confirmed = true;
+        unackedBytes_ -= std::min(unackedBytes_, inf.bytes);
+        auto done = inf.done;
+        if (inf.acks >= repl_.writeQuorum) {
+            it = inFlight_.erase(it);
+        } else {
+            ++it;
+        }
+        done.setValue(entry);
+    }
+    if (closed_ && !registryClosed_ && inFlight_.empty()) {
+        registryClosed_ = true;
+        registry_.close(id_, lastAddConfirmed_);
+    }
+}
+
+void LedgerHandle::close() {
+    if (closed_) return;
+    closed_ = true;
+    // Entries may still be awaiting their quorum; the registry records the
+    // final LAC only once in-flight appends drain (drainConfirmed), so
+    // recovery never reads a stale last-entry for a "closed" ledger.
+    if (inFlight_.empty()) {
+        registryClosed_ = true;
+        registry_.close(id_, lastAddConfirmed_);
+    }
+}
+
+Result<std::vector<SharedBuf>> LedgerHandle::recoverAndClose(LedgerRegistry& registry,
+                                                             LedgerId id) {
+    auto* info = registry.find(id);
+    if (!info) return Status(Err::NotFound, "ledger not in registry");
+
+    // Fence every ensemble bookie so the previous owner can no longer add,
+    // then recover up to the highest entry any bookie reports. (A full BK
+    // implementation recovers to the highest entry seen by an ack quorum;
+    // with writeQuorum == ensembleSize the max over responses is correct.)
+    EntryId last = kNoEntry;
+    for (Bookie* b : info->ensemble) {
+        auto r = b->fenceLedger(id);
+        if (r.isOk()) last = std::max(last, r.value());
+    }
+    if (info->closed) last = info->lastEntry;  // closed ledgers are authoritative
+
+    std::vector<SharedBuf> entries;
+    for (EntryId e = 0; e <= last; ++e) {
+        bool found = false;
+        for (Bookie* b : info->ensemble) {
+            auto r = b->readEntry(id, e);
+            if (r.isOk()) {
+                entries.push_back(std::move(r.value()));
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            // Entry beyond the durable prefix (never reached ack quorum and
+            // bookies lost it): recovery stops at the last contiguous entry.
+            last = e - 1;
+            break;
+        }
+    }
+    registry.close(id, last);
+    return entries;
+}
+
+}  // namespace pravega::wal

@@ -1,0 +1,132 @@
+// LedgerHandle: client-side replicated append to an ensemble of bookies.
+//
+// Implements the BookKeeper write protocol the paper relies on: an entry is
+// sent to `writeQuorum` bookies and acknowledged once `ackQuorum` of them
+// confirm it AND all earlier entries are confirmed (entries acknowledge in
+// order, which gives the log its prefix-durability property). Fencing makes
+// a new owner able to exclude the old one (§4.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "sim/future.h"
+#include "sim/network.h"
+#include "wal/bookie.h"
+#include "wal/types.h"
+
+namespace pravega::wal {
+
+/// Ledger metadata store (stand-in for the ZooKeeper-kept BK metadata).
+struct LedgerInfo {
+    std::vector<Bookie*> ensemble;
+    bool closed = false;
+    EntryId lastEntry = kNoEntry;
+};
+
+class LedgerRegistry {
+public:
+    LedgerId create(std::vector<Bookie*> ensemble) {
+        LedgerId id = nextId_++;
+        ledgers_[id] = LedgerInfo{std::move(ensemble), false, kNoEntry};
+        return id;
+    }
+    LedgerInfo* find(LedgerId id) {
+        auto it = ledgers_.find(id);
+        return it == ledgers_.end() ? nullptr : &it->second;
+    }
+    void close(LedgerId id, EntryId lastEntry) {
+        if (auto* info = find(id)) {
+            info->closed = true;
+            info->lastEntry = lastEntry;
+        }
+    }
+    void erase(LedgerId id) { ledgers_.erase(id); }
+
+private:
+    LedgerId nextId_ = 1;
+    std::map<LedgerId, LedgerInfo> ledgers_;
+};
+
+class LedgerHandle {
+public:
+    /// Per-entry request/response framing on the wire.
+    static constexpr uint64_t kWireOverhead = 64;
+
+    LedgerHandle(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+                 LedgerRegistry& registry, LedgerId id, ReplicationConfig repl);
+    ~LedgerHandle();
+
+    LedgerHandle(const LedgerHandle&) = delete;
+    LedgerHandle& operator=(const LedgerHandle&) = delete;
+
+    LedgerId id() const { return id_; }
+
+    /// Replicated append; completes with the entry id once ack-quorum
+    /// durable and all prior entries confirmed.
+    sim::Future<EntryId> addEntry(SharedBuf data);
+
+    /// Closes the ledger for appends and records the last confirmed entry.
+    void close();
+
+    EntryId lastAddConfirmed() const { return lastAddConfirmed_; }
+    uint64_t appendedBytes() const { return appendedBytes_; }
+    bool closed() const { return closed_; }
+
+    /// Bytes not yet confirmed by the ACK quorum (client flow control).
+    uint64_t unackedBytes() const { return unackedBytes_; }
+
+    /// Bytes not yet confirmed by the FULL write quorum. The BK client must
+    /// retain these for possible re-replication; a persistently slow bookie
+    /// makes this grow without bound — the §5.6 Pulsar OOM mechanism that
+    /// ackQuorum == writeQuorum avoids (at a throughput cost).
+    uint64_t unackedToFullQuorumBytes() const { return fullUnackedBytes_; }
+
+    /// Recovery open: fences the ensemble, determines the last recoverable
+    /// entry (max over fence responses), closes the ledger, and returns its
+    /// entries in order. Used by a new container owner (§4.4).
+    static Result<std::vector<SharedBuf>> recoverAndClose(LedgerRegistry& registry, LedgerId id);
+
+    /// True while appends are awaiting bookie responses (the owner must
+    /// keep the handle alive until drained).
+    bool hasInFlight() const { return !inFlight_.empty(); }
+
+private:
+    struct InFlight {
+        int acks = 0;
+        uint64_t bytes = 0;
+        bool failed = false;
+        bool confirmed = false;  // ack quorum reached, future completed
+        Status error;
+        sim::Promise<EntryId> done;
+    };
+
+    void onAck(EntryId entry, const Result<sim::Unit>& r);
+    void drainConfirmed();
+
+    sim::Executor& exec_;
+    sim::Network& net_;
+    sim::HostId clientHost_;
+    LedgerRegistry& registry_;
+    LedgerId id_;
+    ReplicationConfig repl_;
+    std::vector<Bookie*> ensemble_;
+
+    EntryId nextEntry_ = 0;
+    EntryId lastAddConfirmed_ = kNoEntry;
+    std::map<EntryId, InFlight> inFlight_;
+    uint64_t appendedBytes_ = 0;
+    uint64_t unackedBytes_ = 0;
+    uint64_t fullUnackedBytes_ = 0;
+    bool closed_ = false;
+    bool registryClosed_ = false;
+    bool fencedOut_ = false;
+    /// Cleared on destruction; in-flight network callbacks check it first.
+    std::shared_ptr<bool> alive_;
+};
+
+}  // namespace pravega::wal

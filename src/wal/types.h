@@ -1,0 +1,36 @@
+// Write-Ahead Log (BookKeeper-like) shared types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pravega::wal {
+
+using LedgerId = uint64_t;
+using EntryId = int64_t;
+using BookieId = int;
+
+constexpr EntryId kNoEntry = -1;
+
+/// Replication parameters (paper Table 1: ensemble=3, writeQuorum=3,
+/// ackQuorum=2 for both Pravega and Pulsar).
+struct ReplicationConfig {
+    int ensembleSize = 3;
+    int writeQuorum = 3;
+    int ackQuorum = 2;
+};
+
+/// Address of a WAL entry within a durable log (ledger sequence).
+struct LogAddress {
+    LedgerId ledger = 0;
+    EntryId entry = kNoEntry;
+    /// Monotonically increasing across ledgers of the same log; the unit of
+    /// truncation and recovery ordering.
+    int64_t sequence = -1;
+
+    friend auto operator<=>(const LogAddress&, const LogAddress&) = default;
+};
+
+}  // namespace pravega::wal

@@ -1,0 +1,211 @@
+// Tests for the Fig 4 block cache: chained entries, O(1) appends, per-
+// buffer free lists, buffer exhaustion, and a randomized property check
+// against a reference map.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "segmentstore/cache.h"
+#include "sim/random.h"
+
+namespace pravega::segmentstore {
+namespace {
+
+BlockCache::Config smallConfig() {
+    BlockCache::Config cfg;
+    cfg.blockSize = 64;
+    cfg.blocksPerBuffer = 8;
+    cfg.maxBuffers = 4;
+    return cfg;
+}
+
+Bytes pattern(size_t n, uint8_t seed = 1) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(seed + i * 31);
+    return out;
+}
+
+TEST(BlockCacheTest, InsertAndGetSmallEntry) {
+    BlockCache cache(smallConfig());
+    Bytes data = pattern(10);
+    auto addr = cache.insert(BytesView(data));
+    ASSERT_TRUE(addr.isOk());
+    EXPECT_EQ(cache.get(addr.value()).value(), data);
+    EXPECT_EQ(cache.entryLength(addr.value()).value(), 10u);
+    EXPECT_EQ(cache.usedBlocks(), 1u);
+}
+
+TEST(BlockCacheTest, EntrySpanningMultipleBlocks) {
+    BlockCache cache(smallConfig());
+    Bytes data = pattern(200);  // 4 blocks at 64B
+    auto addr = cache.insert(BytesView(data));
+    ASSERT_TRUE(addr.isOk());
+    EXPECT_EQ(cache.get(addr.value()).value(), data);
+    EXPECT_EQ(cache.usedBlocks(), 4u);
+}
+
+TEST(BlockCacheTest, AppendFillsLastBlockFirst) {
+    BlockCache cache(smallConfig());
+    auto addr = cache.insert(BytesView(pattern(10))).value();
+    auto addr2 = cache.append(addr, BytesView(pattern(20, 99)));
+    ASSERT_TRUE(addr2.isOk());
+    // 30 bytes fit in one 64B block: address must be unchanged (O(1) append
+    // into the last block, the Fig 4 design point).
+    EXPECT_EQ(addr2.value(), addr);
+    EXPECT_EQ(cache.usedBlocks(), 1u);
+    EXPECT_EQ(cache.entryLength(addr).value(), 30u);
+}
+
+TEST(BlockCacheTest, AppendChainsNewBlocksAndMovesAddress) {
+    BlockCache cache(smallConfig());
+    auto addr = cache.insert(BytesView(pattern(60))).value();
+    auto addr2 = cache.append(addr, BytesView(pattern(10, 7))).value();
+    EXPECT_NE(addr2, addr);  // a second block was chained
+    Bytes expected = pattern(60);
+    Bytes tail = pattern(10, 7);
+    expected.insert(expected.end(), tail.begin(), tail.end());
+    EXPECT_EQ(cache.get(addr2).value(), expected);
+    // The OLD address no longer identifies the entry's last block; reading
+    // it yields only the prefix chain, which is by design (the read index
+    // always stores the latest address).
+    EXPECT_EQ(cache.get(addr).value().size(), 64u);
+}
+
+TEST(BlockCacheTest, ManyAppendsAccumulate) {
+    BlockCache cache(smallConfig());
+    auto addr = cache.insert(BytesView(pattern(1))).value();
+    Bytes expected = pattern(1);
+    for (int i = 0; i < 50; ++i) {
+        Bytes piece = pattern(7, static_cast<uint8_t>(i));
+        expected.insert(expected.end(), piece.begin(), piece.end());
+        auto r = cache.append(addr, BytesView(piece));
+        ASSERT_TRUE(r.isOk());
+        addr = r.value();
+    }
+    EXPECT_EQ(cache.get(addr).value(), expected);
+}
+
+TEST(BlockCacheTest, RemoveFreesAllBlocks) {
+    BlockCache cache(smallConfig());
+    auto addr = cache.insert(BytesView(pattern(300))).value();
+    EXPECT_GT(cache.usedBlocks(), 0u);
+    EXPECT_TRUE(cache.remove(addr).isOk());
+    EXPECT_EQ(cache.usedBlocks(), 0u);
+    EXPECT_EQ(cache.storedBytes(), 0u);
+    EXPECT_EQ(cache.get(addr).code(), Err::InvalidArgument);
+}
+
+TEST(BlockCacheTest, FreedBlocksAreReused) {
+    auto cfg = smallConfig();
+    cfg.maxBuffers = 1;  // 8 blocks total
+    BlockCache cache(cfg);
+    for (int round = 0; round < 10; ++round) {
+        auto addr = cache.insert(BytesView(pattern(64 * 8)));  // fills the buffer
+        ASSERT_TRUE(addr.isOk()) << "round " << round;
+        EXPECT_EQ(cache.usedBlocks(), 8u);
+        cache.remove(addr.value());
+    }
+}
+
+TEST(BlockCacheTest, CacheFullWhenAllBuffersExhausted) {
+    auto cfg = smallConfig();  // 4 buffers × 8 blocks × 64B = 2 KB
+    BlockCache cache(cfg);
+    auto big = cache.insert(BytesView(pattern(64 * 8 * 4)));
+    ASSERT_TRUE(big.isOk());
+    auto more = cache.insert(BytesView(pattern(1)));
+    EXPECT_EQ(more.code(), Err::CacheFull);
+    cache.remove(big.value());
+    EXPECT_TRUE(cache.insert(BytesView(pattern(1))).isOk());
+}
+
+TEST(BlockCacheTest, BuffersAllocatedLazily) {
+    BlockCache cache(smallConfig());
+    EXPECT_EQ(cache.allocatedBuffers(), 0u);
+    cache.insert(BytesView(pattern(1)));
+    EXPECT_EQ(cache.allocatedBuffers(), 1u);
+    cache.insert(BytesView(pattern(64 * 8)));  // overflows into buffer 2
+    EXPECT_EQ(cache.allocatedBuffers(), 2u);
+}
+
+TEST(BlockCacheTest, UtilizationTracksUsedBlocks) {
+    auto cfg = smallConfig();  // 32 blocks max
+    BlockCache cache(cfg);
+    EXPECT_DOUBLE_EQ(cache.utilization(), 0.0);
+    cache.insert(BytesView(pattern(64 * 16)));
+    EXPECT_DOUBLE_EQ(cache.utilization(), 0.5);
+}
+
+TEST(BlockCacheTest, EmptyInsertOccupiesOneBlock) {
+    BlockCache cache(smallConfig());
+    auto addr = cache.insert(BytesView());
+    ASSERT_TRUE(addr.isOk());
+    EXPECT_EQ(cache.entryLength(addr.value()).value(), 0u);
+    EXPECT_EQ(cache.usedBlocks(), 1u);
+}
+
+TEST(BlockCacheTest, InvalidAddressRejected) {
+    BlockCache cache(smallConfig());
+    EXPECT_EQ(cache.get(kInvalidAddress).code(), Err::InvalidArgument);
+    EXPECT_EQ(cache.get(12345).code(), Err::InvalidArgument);
+    EXPECT_EQ(cache.append(777, BytesView()).code(), Err::InvalidArgument);
+    EXPECT_EQ(cache.remove(1).code(), Err::InvalidArgument);
+}
+
+// Property test: random insert/append/remove against a reference map.
+class BlockCachePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BlockCachePropertyTest, MatchesReferenceModel) {
+    BlockCache::Config cfg;
+    cfg.blockSize = 32;
+    cfg.blocksPerBuffer = 16;
+    cfg.maxBuffers = 4096;  // ample: appends must never hit CacheFull here
+    BlockCache cache(cfg);
+    sim::Rng rng(GetParam());
+
+    std::map<CacheAddress, Bytes> reference;
+    for (int op = 0; op < 2000; ++op) {
+        uint64_t dice = rng.nextBounded(10);
+        if (dice < 4 || reference.empty()) {
+            Bytes data(rng.nextBounded(100));
+            for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+            auto addr = cache.insert(BytesView(data));
+            if (addr.isOk()) {
+                reference[addr.value()] = std::move(data);
+            } else {
+                ASSERT_EQ(addr.code(), Err::CacheFull);
+            }
+        } else if (dice < 7) {
+            size_t idx = rng.nextBounded(reference.size());
+            auto it = std::next(reference.begin(), static_cast<long>(idx));
+            Bytes extra(rng.nextBounded(80));
+            for (auto& b : extra) b = static_cast<uint8_t>(rng.next());
+            auto newAddr = cache.append(it->first, BytesView(extra));
+            if (newAddr.isOk()) {
+                Bytes combined = it->second;
+                combined.insert(combined.end(), extra.begin(), extra.end());
+                reference.erase(it);
+                reference[newAddr.value()] = std::move(combined);
+            }
+        } else {
+            size_t idx = rng.nextBounded(reference.size());
+            auto it = std::next(reference.begin(), static_cast<long>(idx));
+            ASSERT_TRUE(cache.remove(it->first).isOk());
+            reference.erase(it);
+        }
+    }
+    // Every surviving entry must read back exactly.
+    uint64_t totalBytes = 0;
+    for (const auto& [addr, data] : reference) {
+        auto got = cache.get(addr);
+        ASSERT_TRUE(got.isOk());
+        EXPECT_EQ(got.value(), data);
+        totalBytes += data.size();
+    }
+    EXPECT_EQ(cache.storedBytes(), totalBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockCachePropertyTest,
+                         ::testing::Values(1, 7, 13, 99, 12345, 777777));
+
+}  // namespace
+}  // namespace pravega::segmentstore

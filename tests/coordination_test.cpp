@@ -1,0 +1,136 @@
+// Tests for the cluster-coordination layer: the ZooKeeper stand-in
+// (versioned KV + watches) and the container registry's assignment,
+// rebalance and crash-redistribution logic (§2.2, §4.4).
+#include <gtest/gtest.h>
+
+#include "cluster/coordination.h"
+#include "cluster/pravega_cluster.h"
+
+namespace pravega::cluster {
+namespace {
+
+TEST(CoordinationStoreTest, CreateGetSetRemove) {
+    CoordinationStore store;
+    auto v1 = store.create("a/b", toBytes("one"));
+    ASSERT_TRUE(v1.isOk());
+    EXPECT_EQ(v1.value(), 1);
+    EXPECT_EQ(store.create("a/b", toBytes("dup")).code(), Err::AlreadyExists);
+
+    auto node = store.get("a/b");
+    ASSERT_TRUE(node.isOk());
+    EXPECT_EQ(toString(BytesView(node.value().value)), "one");
+    EXPECT_EQ(node.value().version, 1);
+
+    auto v2 = store.set("a/b", toBytes("two"));
+    EXPECT_EQ(v2.value(), 2);
+    EXPECT_TRUE(store.remove("a/b").isOk());
+    EXPECT_EQ(store.get("a/b").code(), Err::NotFound);
+    EXPECT_EQ(store.remove("a/b").code(), Err::NotFound);
+}
+
+TEST(CoordinationStoreTest, ConditionalSetEnforcesVersions) {
+    CoordinationStore store;
+    store.create("key", toBytes("v1"));
+    EXPECT_EQ(store.set("key", toBytes("bad"), 99).code(), Err::BadVersion);
+    auto v2 = store.set("key", toBytes("v2"), 1);
+    ASSERT_TRUE(v2.isOk());
+    EXPECT_EQ(v2.value(), 2);
+    // Conditional create-if-absent via expectedVersion on a missing key.
+    EXPECT_EQ(store.set("missing", toBytes("x"), 3).code(), Err::BadVersion);
+    EXPECT_TRUE(store.set("missing", toBytes("x"), -1).isOk());
+}
+
+TEST(CoordinationStoreTest, ListByPrefix) {
+    CoordinationStore store;
+    store.create("containers/1", toBytes("a"));
+    store.create("containers/2", toBytes("b"));
+    store.create("streams/x", toBytes("c"));
+    auto keys = store.list("containers/");
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "containers/1");
+    EXPECT_EQ(keys[1], "containers/2");
+    EXPECT_TRUE(store.list("nothing/").empty());
+}
+
+TEST(CoordinationStoreTest, WatchersFireOnPrefix) {
+    CoordinationStore store;
+    std::vector<std::string> seen;
+    store.watch("containers/", [&](const std::string& key) { seen.push_back(key); });
+    store.create("containers/3", toBytes("a"));
+    store.set("containers/3", toBytes("b"));
+    store.create("other/1", toBytes("c"));  // not watched
+    store.remove("containers/3");
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], "containers/3");
+}
+
+struct RegistryFixture : public ::testing::Test {
+    ClusterConfig clusterCfg() {
+        ClusterConfig cfg;
+        cfg.ltsKind = LtsKind::InMemory;
+        cfg.containerCount = 6;
+        return cfg;
+    }
+    // Use the full cluster for real SegmentStore instances.
+    PravegaCluster cluster{clusterCfg()};
+};
+
+TEST_F(RegistryFixture, RebalanceSpreadsContainersRoundRobin) {
+    auto stores = cluster.stores();
+    ASSERT_EQ(stores.size(), 3u);
+    for (auto* store : stores) {
+        EXPECT_EQ(store->containerIds().size(), 2u);  // 6 containers / 3 stores
+    }
+    // Every container has exactly one owner and it is running.
+    for (uint32_t c = 0; c < 6; ++c) {
+        auto* owner = cluster.registry().ownerOf(c);
+        ASSERT_NE(owner, nullptr);
+        EXPECT_TRUE(owner->hasContainer(c));
+        EXPECT_NE(cluster.registry().containerFor(c), nullptr);
+    }
+}
+
+TEST_F(RegistryFixture, AssignmentRecordedInCoordinationStore) {
+    for (uint32_t c = 0; c < 6; ++c) {
+        auto node = cluster.coordination().get("containers/" + std::to_string(c));
+        ASSERT_TRUE(node.isOk()) << c;
+    }
+}
+
+TEST_F(RegistryFixture, FailStoreMovesOnlyItsContainers) {
+    auto before = cluster.stores();
+    std::vector<uint32_t> moved = before[0]->containerIds();
+    std::map<uint32_t, segmentstore::SegmentStore*> stableOwners;
+    for (uint32_t c = 0; c < 6; ++c) {
+        auto* owner = cluster.registry().ownerOf(c);
+        if (owner != before[0]) stableOwners[c] = owner;
+    }
+    ASSERT_TRUE(cluster.crashStore(0).isOk());
+    cluster.runUntilIdle();
+    // Containers of the crashed store moved to survivors...
+    for (uint32_t c : moved) {
+        auto* owner = cluster.registry().ownerOf(c);
+        ASSERT_NE(owner, nullptr);
+        EXPECT_NE(owner, before[0]);
+        EXPECT_TRUE(owner->hasContainer(c));
+    }
+    // ...while everyone else's assignment is untouched.
+    for (auto& [c, owner] : stableOwners) {
+        EXPECT_EQ(cluster.registry().ownerOf(c), owner) << c;
+    }
+}
+
+TEST_F(RegistryFixture, FailoverKeepsExactlyOneLiveOwnerPerContainer) {
+    ASSERT_TRUE(cluster.crashStore(1).isOk());
+    cluster.runUntilIdle();
+    auto survivors = cluster.stores();
+    ASSERT_EQ(survivors.size(), 2u);
+    for (uint32_t c = 0; c < 6; ++c) {
+        int liveOwners = 0;
+        for (auto* store : survivors) liveOwners += store->hasContainer(c) ? 1 : 0;
+        EXPECT_EQ(liveOwners, 1) << "container " << c;
+    }
+}
+
+}  // namespace
+}  // namespace pravega::cluster

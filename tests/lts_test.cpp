@@ -1,0 +1,163 @@
+// Tests for the LTS chunk-storage backends: semantics shared across all
+// four, plus timing behaviour of the simulated object store and real-file
+// persistence of the filesystem backend.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "lts/chunk_storage.h"
+#include "sim/executor.h"
+
+namespace pravega::lts {
+namespace {
+
+template <typename T>
+T waitValue(sim::Executor& exec, sim::Future<T> fut) {
+    exec.runUntilIdle();
+    EXPECT_TRUE(fut.isReady());
+    EXPECT_TRUE(fut.result().isOk()) << fut.result().status().toString();
+    return fut.result().value();
+}
+
+Status waitStatus(sim::Executor& exec, sim::Future<sim::Unit> fut) {
+    exec.runUntilIdle();
+    EXPECT_TRUE(fut.isReady());
+    return fut.result().status();
+}
+
+// Shared semantics across backends (parameterized).
+enum class Backend { InMemory, Simulated, FileSystem };
+
+class ChunkStorageSemantics : public ::testing::TestWithParam<Backend> {
+protected:
+    void SetUp() override {
+        switch (GetParam()) {
+            case Backend::InMemory:
+                storage_ = std::make_unique<InMemoryChunkStorage>();
+                break;
+            case Backend::Simulated:
+                storage_ = std::make_unique<SimulatedObjectStorage>(
+                    exec_, sim::ObjectStoreModel::Config{});
+                break;
+            case Backend::FileSystem: {
+                root_ = "/tmp/pravega-lts-test-" + std::to_string(::getpid());
+                std::filesystem::remove_all(root_);
+                storage_ = std::make_unique<FileSystemChunkStorage>(root_);
+                break;
+            }
+        }
+    }
+    void TearDown() override {
+        storage_.reset();
+        if (!root_.empty()) std::filesystem::remove_all(root_);
+    }
+
+    sim::Executor exec_;
+    std::unique_ptr<ChunkStorage> storage_;
+    std::string root_;
+};
+
+TEST_P(ChunkStorageSemantics, CreateAppendReadRoundTrip) {
+    EXPECT_TRUE(waitStatus(exec_, storage_->create("chunk-1")).isOk());
+    EXPECT_TRUE(waitStatus(exec_, storage_->append("chunk-1", SharedBuf(toBytes("hello ")))).isOk());
+    EXPECT_TRUE(waitStatus(exec_, storage_->append("chunk-1", SharedBuf(toBytes("world")))).isOk());
+    auto data = waitValue(exec_, storage_->read("chunk-1", 0, 100));
+    EXPECT_EQ(toString(data.view()), "hello world");
+    auto part = waitValue(exec_, storage_->read("chunk-1", 6, 5));
+    EXPECT_EQ(toString(part.view()), "world");
+}
+
+TEST_P(ChunkStorageSemantics, CreateDuplicateFails) {
+    waitStatus(exec_, storage_->create("c"));
+    EXPECT_EQ(waitStatus(exec_, storage_->create("c")).code(), Err::AlreadyExists);
+}
+
+TEST_P(ChunkStorageSemantics, AppendToMissingChunkFails) {
+    EXPECT_EQ(waitStatus(exec_, storage_->append("nope", SharedBuf(toBytes("x")))).code(),
+              Err::NotFound);
+}
+
+TEST_P(ChunkStorageSemantics, StatReportsLength) {
+    waitStatus(exec_, storage_->create("c"));
+    waitStatus(exec_, storage_->append("c", SharedBuf(toBytes("12345"))));
+    auto info = storage_->stat("c");
+    ASSERT_TRUE(info.isOk());
+    EXPECT_EQ(info.value().length, 5u);
+    EXPECT_EQ(storage_->stat("missing").code(), Err::NotFound);
+}
+
+TEST_P(ChunkStorageSemantics, RemoveDeletes) {
+    waitStatus(exec_, storage_->create("c"));
+    waitStatus(exec_, storage_->append("c", SharedBuf(toBytes("abc"))));
+    EXPECT_TRUE(waitStatus(exec_, storage_->remove("c")).isOk());
+    EXPECT_EQ(storage_->stat("c").code(), Err::NotFound);
+    EXPECT_EQ(waitStatus(exec_, storage_->remove("c")).code(), Err::NotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ChunkStorageSemantics,
+                         ::testing::Values(Backend::InMemory, Backend::Simulated,
+                                           Backend::FileSystem));
+
+TEST(SimulatedObjectStorageTest, TransfersTakeModelTime) {
+    sim::Executor exec;
+    sim::ObjectStoreModel::Config cfg;
+    cfg.opLatency = sim::msec(8);
+    SimulatedObjectStorage storage(exec, cfg);
+    storage.create("c");
+    exec.runUntilIdle();
+    sim::TimePoint start = exec.now();
+    auto fut = storage.append("c", SharedBuf(Bytes(1024, 0)));
+    exec.runUntilIdle();
+    EXPECT_TRUE(fut.isReady());
+    EXPECT_GE(exec.now() - start, sim::msec(8));
+}
+
+TEST(SimulatedObjectStorageTest, ReportsBacklog) {
+    sim::Executor exec;
+    sim::ObjectStoreModel::Config cfg;
+    cfg.perStreamBytesPerSec = 1024 * 1024;
+    cfg.aggregateBytesPerSec = 1024 * 1024;
+    cfg.maxConcurrent = 1;
+    SimulatedObjectStorage storage(exec, cfg);
+    storage.create("c");
+    exec.runUntilIdle();
+    storage.append("c", SharedBuf(Bytes(10 * 1024 * 1024, 0)));
+    EXPECT_GT(storage.backlogSeconds(), 5.0);
+}
+
+TEST(NoOpChunkStorageTest, DiscardsDataButTracksSizes) {
+    sim::Executor exec;
+    NoOpChunkStorage storage;
+    storage.create("c");
+    storage.append("c", SharedBuf(toBytes("hello")));
+    exec.runUntilIdle();
+    EXPECT_EQ(storage.stat("c").value().length, 5u);
+    EXPECT_EQ(storage.totalBytes(), 0u);  // nothing retained
+    auto fut = storage.read("c", 0, 5);
+    exec.runUntilIdle();
+    ASSERT_TRUE(fut.result().isOk());
+    EXPECT_EQ(fut.result().value().size(), 5u);  // zero-filled, right size
+}
+
+TEST(FileSystemChunkStorageTest, PersistsAcrossInstances) {
+    std::string root = "/tmp/pravega-lts-persist-" + std::to_string(::getpid());
+    std::filesystem::remove_all(root);
+    sim::Executor exec;
+    {
+        FileSystemChunkStorage storage(root);
+        storage.create("c");
+        storage.append("c", SharedBuf(toBytes("durable")));
+        exec.runUntilIdle();
+    }
+    // A fresh instance does not know the chunk registry (sizes map), but
+    // the bytes are on disk; verify via the filesystem.
+    bool found = false;
+    for (auto& entry : std::filesystem::directory_iterator(root)) {
+        if (entry.file_size() == 7) found = true;
+    }
+    EXPECT_TRUE(found);
+    std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace pravega::lts

@@ -1,0 +1,334 @@
+// Unit tests for the discrete-event substrate: executor, futures, and the
+// hardware models (disk, link, CPU, object store).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/future.h"
+#include "sim/models.h"
+#include "sim/network.h"
+
+namespace pravega::sim {
+namespace {
+
+TEST(ExecutorTest, RunsInTimeOrder) {
+    Executor exec;
+    std::vector<int> order;
+    exec.schedule(msec(3), [&]() { order.push_back(3); });
+    exec.schedule(msec(1), [&]() { order.push_back(1); });
+    exec.schedule(msec(2), [&]() { order.push_back(2); });
+    exec.runUntilIdle();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(exec.now(), msec(3));
+}
+
+TEST(ExecutorTest, SameTimeIsFifo) {
+    Executor exec;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        exec.schedule(msec(1), [&, i]() { order.push_back(i); });
+    }
+    exec.runUntilIdle();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ExecutorTest, NestedScheduling) {
+    Executor exec;
+    int fired = 0;
+    exec.schedule(msec(1), [&]() {
+        ++fired;
+        exec.schedule(msec(1), [&]() { ++fired; });
+    });
+    exec.runUntilIdle();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(exec.now(), msec(2));
+}
+
+TEST(ExecutorTest, RunUntilStopsAtDeadline) {
+    Executor exec;
+    int fired = 0;
+    exec.schedule(msec(5), [&]() { ++fired; });
+    exec.schedule(msec(15), [&]() { ++fired; });
+    exec.runUntil(msec(10));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(exec.now(), msec(10));
+    exec.runUntilIdle();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(ExecutorTest, RunForAdvancesClockWhenIdle) {
+    Executor exec;
+    exec.runFor(sec(1));
+    EXPECT_EQ(exec.now(), sec(1));
+}
+
+TEST(FutureTest, ReadyValue) {
+    auto fut = Future<int>::ready(7);
+    ASSERT_TRUE(fut.isReady());
+    EXPECT_EQ(fut.result().value(), 7);
+}
+
+TEST(FutureTest, CallbackOnCompletion) {
+    Promise<int> p;
+    auto fut = p.future();
+    int got = 0;
+    fut.onComplete([&](const Result<int>& r) { got = r.value(); });
+    EXPECT_EQ(got, 0);
+    p.setValue(42);
+    EXPECT_EQ(got, 42);
+}
+
+TEST(FutureTest, CallbackAfterCompletionRunsImmediately) {
+    Promise<int> p;
+    p.setValue(5);
+    int got = 0;
+    p.future().onComplete([&](const Result<int>& r) { got = r.value(); });
+    EXPECT_EQ(got, 5);
+}
+
+TEST(FutureTest, ThenTransforms) {
+    Promise<int> p;
+    auto fut = p.future().then([](const int& v) { return v * 2; });
+    p.setValue(21);
+    ASSERT_TRUE(fut.isReady());
+    EXPECT_EQ(fut.result().value(), 42);
+}
+
+TEST(FutureTest, ThenShortCircuitsErrors) {
+    Promise<int> p;
+    bool called = false;
+    auto fut = p.future().then([&](const int& v) {
+        called = true;
+        return v;
+    });
+    p.setError(Err::IoError);
+    EXPECT_FALSE(called);
+    ASSERT_TRUE(fut.isReady());
+    EXPECT_EQ(fut.result().code(), Err::IoError);
+}
+
+TEST(FutureTest, ThenAsyncChains) {
+    Promise<int> p;
+    Promise<std::string> inner;
+    auto fut = p.future().thenAsync([&](const int&) { return inner.future(); });
+    p.setValue(1);
+    EXPECT_FALSE(fut.isReady());
+    inner.setValue("done");
+    ASSERT_TRUE(fut.isReady());
+    EXPECT_EQ(fut.result().value(), "done");
+}
+
+TEST(FutureTest, WhenAllWaitsForEveryFuture) {
+    std::vector<Promise<int>> promises(3);
+    std::vector<Future<int>> futures;
+    for (auto& p : promises) futures.push_back(p.future());
+    auto all = whenAll(futures);
+    promises[0].setValue(1);
+    promises[2].setError(Err::IoError);
+    EXPECT_FALSE(all.isReady());
+    promises[1].setValue(2);
+    EXPECT_TRUE(all.isReady());  // completes despite individual errors
+}
+
+TEST(FutureTest, WhenAllEmptyIsReady) {
+    EXPECT_TRUE(whenAll(std::vector<Future<int>>{}).isReady());
+}
+
+TEST(QueuedResourceTest, SerializesSingleLane) {
+    Executor exec;
+    QueuedResource res(exec, 1);
+    TimePoint first = 0, second = 0;
+    res.acquire(msec(10)).onComplete([&](const Result<Unit>&) { first = exec.now(); });
+    res.acquire(msec(10)).onComplete([&](const Result<Unit>&) { second = exec.now(); });
+    exec.runUntilIdle();
+    EXPECT_EQ(first, msec(10));
+    EXPECT_EQ(second, msec(20));
+}
+
+TEST(QueuedResourceTest, ParallelLanes) {
+    Executor exec;
+    QueuedResource res(exec, 2);
+    std::vector<TimePoint> done;
+    for (int i = 0; i < 4; ++i) {
+        res.acquire(msec(10)).onComplete([&](const Result<Unit>&) { done.push_back(exec.now()); });
+    }
+    exec.runUntilIdle();
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[0], msec(10));
+    EXPECT_EQ(done[1], msec(10));
+    EXPECT_EQ(done[2], msec(20));
+    EXPECT_EQ(done[3], msec(20));
+}
+
+TEST(DiskModelTest, SequentialWritesToSameFileAvoidSwitchPenalty) {
+    Executor exec;
+    DiskModel::Config cfg;
+    cfg.bytesPerSec = 1e9;
+    cfg.writeLatency = usec(10);
+    cfg.fileSwitchPenalty = usec(100);
+    cfg.fsyncLatency = 0;
+    DiskModel disk(exec, cfg);
+
+    TimePoint sameFile = 0, twoFiles = 0;
+    disk.write(1, 0, false);
+    disk.write(1, 0, false).onComplete([&](const Result<Unit>&) { sameFile = exec.now(); });
+    exec.runUntilIdle();
+
+    Executor exec2;
+    DiskModel disk2(exec2, cfg);
+    disk2.write(1, 0, false);
+    disk2.write(2, 0, false).onComplete([&](const Result<Unit>&) { twoFiles = exec2.now(); });
+    exec2.runUntilIdle();
+
+    // First write pays a switch (cold); the second only pays again when
+    // targeting a different file.
+    EXPECT_EQ(sameFile, usec(100) + 2 * usec(10));
+    EXPECT_EQ(twoFiles, 2 * usec(100) + 2 * usec(10));
+}
+
+TEST(DiskModelTest, FsyncAddsLatency) {
+    Executor exec;
+    DiskModel::Config cfg;
+    cfg.writeLatency = usec(10);
+    cfg.fileSwitchPenalty = 0;
+    cfg.fsyncLatency = usec(50);
+    DiskModel disk(exec, cfg);
+    TimePoint t = 0;
+    disk.write(1, 0, true).onComplete([&](const Result<Unit>&) { t = exec.now(); });
+    exec.runUntilIdle();
+    EXPECT_EQ(t, usec(60));
+}
+
+TEST(DiskModelTest, BandwidthDominatesLargeWrites) {
+    Executor exec;
+    DiskModel::Config cfg;
+    cfg.bytesPerSec = 100.0 * 1024 * 1024;
+    cfg.writeLatency = 0;
+    cfg.fileSwitchPenalty = 0;
+    cfg.fsyncLatency = 0;
+    DiskModel disk(exec, cfg);
+    TimePoint t = 0;
+    disk.write(1, 100 * 1024 * 1024, false).onComplete([&](const Result<Unit>&) { t = exec.now(); });
+    exec.runUntilIdle();
+    EXPECT_NEAR(static_cast<double>(t), static_cast<double>(sec(1)), static_cast<double>(msec(1)));
+}
+
+TEST(LinkTest, LatencyPlusSerialization) {
+    Executor exec;
+    Link::Config cfg;
+    cfg.latency = msec(1);
+    cfg.bytesPerSec = 1024 * 1024;  // 1 MB/s for easy math
+    Link link(exec, cfg);
+    TimePoint t = 0;
+    link.deliver(1024 * 1024, [&]() { t = exec.now(); });
+    exec.runUntilIdle();
+    EXPECT_EQ(t, sec(1) + msec(1));
+}
+
+TEST(LinkTest, MessagesQueueBehindEachOther) {
+    Executor exec;
+    Link::Config cfg;
+    cfg.latency = 0;
+    cfg.bytesPerSec = 1024;
+    Link link(exec, cfg);
+    std::vector<TimePoint> arrivals;
+    link.deliver(1024, [&]() { arrivals.push_back(exec.now()); });
+    link.deliver(1024, [&]() { arrivals.push_back(exec.now()); });
+    exec.runUntilIdle();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0], sec(1));
+    EXPECT_EQ(arrivals[1], sec(2));
+}
+
+TEST(NetworkTest, LinksAreLazyAndPerPair) {
+    Executor exec;
+    Network net(exec, Link::Config{});
+    Link& ab = net.link(1, 2);
+    Link& ba = net.link(2, 1);
+    EXPECT_NE(&ab, &ba);
+    EXPECT_EQ(&ab, &net.link(1, 2));
+}
+
+TEST(ObjectStoreTest, PerStreamCapGovernsSingleTransfer) {
+    Executor exec;
+    ObjectStoreModel::Config cfg;
+    cfg.opLatency = 0;
+    cfg.perStreamBytesPerSec = 100.0 * 1024 * 1024;
+    cfg.aggregateBytesPerSec = 1e12;
+    ObjectStoreModel store(exec, cfg);
+    TimePoint t = 0;
+    store.put(100 * 1024 * 1024).onComplete([&](const Result<Unit>&) { t = exec.now(); });
+    exec.runUntilIdle();
+    EXPECT_NEAR(static_cast<double>(t), static_cast<double>(sec(1)), static_cast<double>(msec(10)));
+}
+
+TEST(ObjectStoreTest, ParallelTransfersExceedPerStreamCap) {
+    Executor exec;
+    ObjectStoreModel::Config cfg;
+    cfg.opLatency = 0;
+    cfg.perStreamBytesPerSec = 100.0 * 1024 * 1024;
+    cfg.aggregateBytesPerSec = 400.0 * 1024 * 1024;
+    cfg.maxConcurrent = 8;
+    ObjectStoreModel store(exec, cfg);
+    // 4 parallel 100MB transfers: per-stream alone → 1s total (parallel);
+    // the aggregate cap also allows it; serial at per-stream would be 4s.
+    std::vector<TimePoint> done;
+    for (int i = 0; i < 4; ++i) {
+        store.put(100 * 1024 * 1024).onComplete([&](const Result<Unit>&) {
+            done.push_back(exec.now());
+        });
+    }
+    exec.runUntilIdle();
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_LT(done.back(), sec(2));  // far better than 4s serial
+}
+
+TEST(ObjectStoreTest, AggregateCapLimitsManyStreams) {
+    Executor exec;
+    ObjectStoreModel::Config cfg;
+    cfg.opLatency = 0;
+    cfg.perStreamBytesPerSec = 100.0 * 1024 * 1024;
+    cfg.aggregateBytesPerSec = 200.0 * 1024 * 1024;
+    cfg.maxConcurrent = 64;
+    ObjectStoreModel store(exec, cfg);
+    // 8 × 100MB = 800MB through a 200MB/s pipe → ≥ 4s.
+    TimePoint last = 0;
+    for (int i = 0; i < 8; ++i) {
+        store.put(100 * 1024 * 1024).onComplete([&](const Result<Unit>&) { last = exec.now(); });
+    }
+    exec.runUntilIdle();
+    EXPECT_GE(last, sec(4) - msec(10));
+}
+
+TEST(ObjectStoreTest, BacklogVisibleForThrottling) {
+    Executor exec;
+    ObjectStoreModel::Config cfg;
+    cfg.opLatency = 0;
+    cfg.perStreamBytesPerSec = 10.0 * 1024 * 1024;
+    cfg.aggregateBytesPerSec = 10.0 * 1024 * 1024;
+    cfg.maxConcurrent = 1;
+    ObjectStoreModel store(exec, cfg);
+    EXPECT_DOUBLE_EQ(store.backlogSeconds(), 0.0);
+    store.put(100 * 1024 * 1024);
+    EXPECT_GT(store.backlogSeconds(), 5.0);
+}
+
+TEST(CpuModelTest, CoresRunInParallel) {
+    Executor exec;
+    CpuModel::Config cfg;
+    cfg.cores = 4;
+    cfg.perRequest = msec(1);
+    CpuModel cpu(exec, cfg);
+    std::vector<TimePoint> done;
+    for (int i = 0; i < 8; ++i) {
+        cpu.execute(0).onComplete([&](const Result<Unit>&) { done.push_back(exec.now()); });
+    }
+    exec.runUntilIdle();
+    ASSERT_EQ(done.size(), 8u);
+    EXPECT_EQ(done[3], msec(1));
+    EXPECT_EQ(done[7], msec(2));
+}
+
+}  // namespace
+}  // namespace pravega::sim
