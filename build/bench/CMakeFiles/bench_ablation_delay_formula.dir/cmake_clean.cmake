@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_delay_formula.dir/bench_ablation_delay_formula.cpp.o"
+  "CMakeFiles/bench_ablation_delay_formula.dir/bench_ablation_delay_formula.cpp.o.d"
+  "bench_ablation_delay_formula"
+  "bench_ablation_delay_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_delay_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

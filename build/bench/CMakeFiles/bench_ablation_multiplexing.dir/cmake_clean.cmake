@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiplexing.dir/bench_ablation_multiplexing.cpp.o"
+  "CMakeFiles/bench_ablation_multiplexing.dir/bench_ablation_multiplexing.cpp.o.d"
+  "bench_ablation_multiplexing"
+  "bench_ablation_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_durability.dir/bench_fig05_durability.cpp.o"
+  "CMakeFiles/bench_fig05_durability.dir/bench_fig05_durability.cpp.o.d"
+  "bench_fig05_durability"
+  "bench_fig05_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_batching.dir/bench_fig06_batching.cpp.o"
+  "CMakeFiles/bench_fig06_batching.dir/bench_fig06_batching.cpp.o.d"
+  "bench_fig06_batching"
+  "bench_fig06_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_large_events.dir/bench_fig07_large_events.cpp.o"
+  "CMakeFiles/bench_fig07_large_events.dir/bench_fig07_large_events.cpp.o.d"
+  "bench_fig07_large_events"
+  "bench_fig07_large_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_large_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_tail_reads.dir/bench_fig08_tail_reads.cpp.o"
+  "CMakeFiles/bench_fig08_tail_reads.dir/bench_fig08_tail_reads.cpp.o.d"
+  "bench_fig08_tail_reads"
+  "bench_fig08_tail_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_tail_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

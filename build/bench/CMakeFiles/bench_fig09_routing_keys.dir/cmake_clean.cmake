@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_routing_keys.dir/bench_fig09_routing_keys.cpp.o"
+  "CMakeFiles/bench_fig09_routing_keys.dir/bench_fig09_routing_keys.cpp.o.d"
+  "bench_fig09_routing_keys"
+  "bench_fig09_routing_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_routing_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_parallelism.dir/bench_fig10_parallelism.cpp.o"
+  "CMakeFiles/bench_fig10_parallelism.dir/bench_fig10_parallelism.cpp.o.d"
+  "bench_fig10_parallelism"
+  "bench_fig10_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

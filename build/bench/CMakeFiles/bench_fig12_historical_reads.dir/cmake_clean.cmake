@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_historical_reads.dir/bench_fig12_historical_reads.cpp.o"
+  "CMakeFiles/bench_fig12_historical_reads.dir/bench_fig12_historical_reads.cpp.o.d"
+  "bench_fig12_historical_reads"
+  "bench_fig12_historical_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_historical_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_autoscaling.dir/bench_fig13_autoscaling.cpp.o"
+  "CMakeFiles/bench_fig13_autoscaling.dir/bench_fig13_autoscaling.cpp.o.d"
+  "bench_fig13_autoscaling"
+  "bench_fig13_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libbench_harness.a"
+  "../lib/libbench_harness.pdb"
+  "CMakeFiles/bench_harness.dir/harness/adapters.cpp.o"
+  "CMakeFiles/bench_harness.dir/harness/adapters.cpp.o.d"
+  "CMakeFiles/bench_harness.dir/harness/workload.cpp.o"
+  "CMakeFiles/bench_harness.dir/harness/workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_exactly_once_pipeline.dir/exactly_once_pipeline.cpp.o"
+  "CMakeFiles/example_exactly_once_pipeline.dir/exactly_once_pipeline.cpp.o.d"
+  "example_exactly_once_pipeline"
+  "example_exactly_once_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_exactly_once_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_exactly_once_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_historical_replay.dir/historical_replay.cpp.o"
+  "CMakeFiles/example_historical_replay.dir/historical_replay.cpp.o.d"
+  "example_historical_replay"
+  "example_historical_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_historical_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

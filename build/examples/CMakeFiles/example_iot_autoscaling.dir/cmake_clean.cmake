@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_iot_autoscaling.dir/iot_autoscaling.cpp.o"
+  "CMakeFiles/example_iot_autoscaling.dir/iot_autoscaling.cpp.o.d"
+  "example_iot_autoscaling"
+  "example_iot_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_iot_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

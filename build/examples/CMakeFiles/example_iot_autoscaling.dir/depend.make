@@ -1,0 +1,2 @@
+# Empty dependencies file for example_iot_autoscaling.
+# This may be replaced when dependencies are built.

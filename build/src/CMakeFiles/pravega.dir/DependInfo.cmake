@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/kafka_like.cpp" "src/CMakeFiles/pravega.dir/baselines/kafka_like.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/baselines/kafka_like.cpp.o.d"
+  "/root/repo/src/baselines/pulsar_like.cpp" "src/CMakeFiles/pravega.dir/baselines/pulsar_like.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/baselines/pulsar_like.cpp.o.d"
+  "/root/repo/src/client/event_reader.cpp" "src/CMakeFiles/pravega.dir/client/event_reader.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/client/event_reader.cpp.o.d"
+  "/root/repo/src/client/event_writer.cpp" "src/CMakeFiles/pravega.dir/client/event_writer.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/client/event_writer.cpp.o.d"
+  "/root/repo/src/client/kv_table.cpp" "src/CMakeFiles/pravega.dir/client/kv_table.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/client/kv_table.cpp.o.d"
+  "/root/repo/src/client/reader_group.cpp" "src/CMakeFiles/pravega.dir/client/reader_group.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/client/reader_group.cpp.o.d"
+  "/root/repo/src/client/segment_input_stream.cpp" "src/CMakeFiles/pravega.dir/client/segment_input_stream.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/client/segment_input_stream.cpp.o.d"
+  "/root/repo/src/client/segment_output_stream.cpp" "src/CMakeFiles/pravega.dir/client/segment_output_stream.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/client/segment_output_stream.cpp.o.d"
+  "/root/repo/src/cluster/coordination.cpp" "src/CMakeFiles/pravega.dir/cluster/coordination.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/cluster/coordination.cpp.o.d"
+  "/root/repo/src/cluster/pravega_cluster.cpp" "src/CMakeFiles/pravega.dir/cluster/pravega_cluster.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/cluster/pravega_cluster.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/pravega.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/hash.cpp" "src/CMakeFiles/pravega.dir/common/hash.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/common/hash.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/pravega.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/serde.cpp" "src/CMakeFiles/pravega.dir/common/serde.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/common/serde.cpp.o.d"
+  "/root/repo/src/controller/auto_scaler.cpp" "src/CMakeFiles/pravega.dir/controller/auto_scaler.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/controller/auto_scaler.cpp.o.d"
+  "/root/repo/src/controller/controller.cpp" "src/CMakeFiles/pravega.dir/controller/controller.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/controller/controller.cpp.o.d"
+  "/root/repo/src/controller/stream_metadata.cpp" "src/CMakeFiles/pravega.dir/controller/stream_metadata.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/controller/stream_metadata.cpp.o.d"
+  "/root/repo/src/lts/chunk_storage.cpp" "src/CMakeFiles/pravega.dir/lts/chunk_storage.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/lts/chunk_storage.cpp.o.d"
+  "/root/repo/src/segmentstore/attribute_index.cpp" "src/CMakeFiles/pravega.dir/segmentstore/attribute_index.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/segmentstore/attribute_index.cpp.o.d"
+  "/root/repo/src/segmentstore/cache.cpp" "src/CMakeFiles/pravega.dir/segmentstore/cache.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/segmentstore/cache.cpp.o.d"
+  "/root/repo/src/segmentstore/container.cpp" "src/CMakeFiles/pravega.dir/segmentstore/container.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/segmentstore/container.cpp.o.d"
+  "/root/repo/src/segmentstore/operations.cpp" "src/CMakeFiles/pravega.dir/segmentstore/operations.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/segmentstore/operations.cpp.o.d"
+  "/root/repo/src/segmentstore/read_index.cpp" "src/CMakeFiles/pravega.dir/segmentstore/read_index.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/segmentstore/read_index.cpp.o.d"
+  "/root/repo/src/segmentstore/segment_store.cpp" "src/CMakeFiles/pravega.dir/segmentstore/segment_store.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/segmentstore/segment_store.cpp.o.d"
+  "/root/repo/src/segmentstore/storage_writer.cpp" "src/CMakeFiles/pravega.dir/segmentstore/storage_writer.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/segmentstore/storage_writer.cpp.o.d"
+  "/root/repo/src/segmentstore/table_segment.cpp" "src/CMakeFiles/pravega.dir/segmentstore/table_segment.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/segmentstore/table_segment.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/CMakeFiles/pravega.dir/sim/executor.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/models.cpp" "src/CMakeFiles/pravega.dir/sim/models.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/sim/models.cpp.o.d"
+  "/root/repo/src/wal/bookie.cpp" "src/CMakeFiles/pravega.dir/wal/bookie.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/wal/bookie.cpp.o.d"
+  "/root/repo/src/wal/ledger_handle.cpp" "src/CMakeFiles/pravega.dir/wal/ledger_handle.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/wal/ledger_handle.cpp.o.d"
+  "/root/repo/src/wal/log_client.cpp" "src/CMakeFiles/pravega.dir/wal/log_client.cpp.o" "gcc" "src/CMakeFiles/pravega.dir/wal/log_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

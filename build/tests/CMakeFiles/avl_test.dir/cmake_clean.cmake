@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avl_test.dir/avl_test.cpp.o"
+  "CMakeFiles/avl_test.dir/avl_test.cpp.o.d"
+  "avl_test"
+  "avl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

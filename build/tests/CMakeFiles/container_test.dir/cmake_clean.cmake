@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_test.dir/container_test.cpp.o"
+  "CMakeFiles/container_test.dir/container_test.cpp.o.d"
+  "container_test"
+  "container_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordination_test.dir/coordination_test.cpp.o"
+  "CMakeFiles/coordination_test.dir/coordination_test.cpp.o.d"
+  "coordination_test"
+  "coordination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lts_test.dir/lts_test.cpp.o"
+  "CMakeFiles/lts_test.dir/lts_test.cpp.o.d"
+  "lts_test"
+  "lts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

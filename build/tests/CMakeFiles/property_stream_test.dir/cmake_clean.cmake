@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_stream_test.dir/property_stream_test.cpp.o"
+  "CMakeFiles/property_stream_test.dir/property_stream_test.cpp.o.d"
+  "property_stream_test"
+  "property_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_index_test.dir/read_index_test.cpp.o"
+  "CMakeFiles/read_index_test.dir/read_index_test.cpp.o.d"
+  "read_index_test"
+  "read_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

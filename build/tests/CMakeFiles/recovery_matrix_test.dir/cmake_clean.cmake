@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_matrix_test.dir/recovery_matrix_test.cpp.o"
+  "CMakeFiles/recovery_matrix_test.dir/recovery_matrix_test.cpp.o.d"
+  "recovery_matrix_test"
+  "recovery_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

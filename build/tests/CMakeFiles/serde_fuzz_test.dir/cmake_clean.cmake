@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serde_fuzz_test.dir/serde_fuzz_test.cpp.o"
+  "CMakeFiles/serde_fuzz_test.dir/serde_fuzz_test.cpp.o.d"
+  "serde_fuzz_test"
+  "serde_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serde_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

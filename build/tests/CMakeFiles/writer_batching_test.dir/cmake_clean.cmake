@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writer_batching_test.dir/writer_batching_test.cpp.o"
+  "CMakeFiles/writer_batching_test.dir/writer_batching_test.cpp.o.d"
+  "writer_batching_test"
+  "writer_batching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writer_batching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for writer_batching_test.
+# This may be replaced when dependencies are built.
