@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + ctest in the default configuration, then the
+# same suite under AddressSanitizer and UndefinedBehaviorSanitizer via the
+# PRAVEGA_SANITIZE CMake option. Each configuration gets its own build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+
+run_suite() {
+  local name="$1" sanitize="$2"
+  local dir="build-${name}"
+  echo "== ${name}: configure + build (${dir}) =="
+  cmake -B "${dir}" -S . -DPRAVEGA_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "== ${name}: ctest =="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_suite plain ""
+run_suite asan address
+run_suite ubsan undefined
+echo "All checks passed."

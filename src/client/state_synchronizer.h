@@ -53,14 +53,16 @@ public:
     sim::Future<sim::Unit> fetchUpdates() {
         sim::Promise<sim::Unit> done;
         auto fut = done.future();
-        enqueue([this, done]() mutable {
-            doFetch([this, done](Status s) mutable {
+        enqueue([this, alive = alive_, done]() mutable {
+            doFetch([this, alive, done](Status s) mutable {
                 if (s.isOk()) {
                     done.setValue(sim::Unit{});
                 } else {
                     done.setError(s);
                 }
-                finishOp();
+                // Completing the promise may run a continuation that destroys
+                // this synchronizer; only pump the op queue if we survived.
+                if (*alive) finishOp();
             });
         });
         return fut;
@@ -133,6 +135,7 @@ private:
             c->read(uri_.record.id, offset_, want)
                 .onComplete([this, alive, cb = std::move(cb)](
                                 const Result<segmentstore::ReadResult>& r) mutable {
+                    if (!*alive) return;
                     uint64_t bytes = wireOverhead_ + (r.isOk() ? r.value().data.size() : 0);
                     net_.send(uri_.store->host(), clientHost_, bytes,
                               [this, alive, cb = std::move(cb), r]() mutable {
@@ -150,24 +153,24 @@ private:
 
     void attempt(std::function<std::optional<Bytes>(const State&)> generator,
                  sim::Promise<bool> done, int tries) {
+        auto alive = alive_;
         if (tries > 64) {
             done.setError(Err::Timeout, "state synchronizer contention");
-            finishOp();
+            if (*alive) finishOp();
             return;
         }
-        auto alive = alive_;
         doFetch([this, alive, generator = std::move(generator), done,
                  tries](Status fetched) mutable {
             if (!*alive) return;
             if (!fetched.isOk()) {
                 done.setError(fetched);
-                finishOp();
+                if (*alive) finishOp();
                 return;
             }
             auto update = generator(state_);
             if (!update) {
                 done.setValue(false);
-                finishOp();
+                if (*alive) finishOp();
                 return;
             }
             Bytes framed;
@@ -182,12 +185,13 @@ private:
                     auto* c = uri_.store->container(uri_.containerId);
                     if (!c) {
                         done.setError(Err::ContainerOffline);
-                        finishOp();
+                        if (*alive) finishOp();
                         return;
                     }
                     c->conditionalAppend(uri_.record.id, buf, expected)
                         .onComplete([this, alive, buf, generator = std::move(generator), done,
                                      tries](const Result<int64_t>& r) mutable {
+                            if (!*alive) return;
                             net_.send(
                                 uri_.store->host(), clientHost_, wireOverhead_,
                                 [this, alive, buf, generator = std::move(generator), done,
@@ -197,7 +201,7 @@ private:
                                         // Our own update: apply locally.
                                         applyUpdates(buf.view());
                                         done.setValue(true);
-                                        finishOp();
+                                        if (*alive) finishOp();
                                         return;
                                     }
                                     if (r.code() == Err::BadOffset) {
@@ -207,7 +211,7 @@ private:
                                         return;
                                     }
                                     done.complete(r.status());
-                                    finishOp();
+                                    if (*alive) finishOp();
                                 });
                         });
                 });

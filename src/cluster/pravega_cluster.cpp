@@ -9,13 +9,15 @@ constexpr sim::HostId kBookieHostBase = 100;
 constexpr sim::HostId kStoreHostBase = 200;
 }  // namespace
 
-PravegaCluster::PravegaCluster(ClusterConfig cfg) : cfg_(cfg), net_(exec_, cfg.link) {
+PravegaCluster::PravegaCluster(ClusterConfig cfg)
+    : cfg_(cfg), net_(exec_, cfg.link, cfg.networkFaultSeed) {
     // Bookies, each with a dedicated journal drive (Table 1: 1 NVMe).
     for (int b = 0; b < cfg_.bookies; ++b) {
         journalDrives_.push_back(std::make_unique<sim::DiskModel>(exec_, cfg_.journalDrive));
         bookies_.push_back(std::make_unique<wal::Bookie>(exec_, kBookieHostBase + b,
                                                          *journalDrives_.back(), cfg_.bookie));
     }
+    ledgerRegistry_.setBookiePool(bookies());
 
     switch (cfg_.ltsKind) {
         case LtsKind::InMemory:
@@ -31,10 +33,14 @@ PravegaCluster::PravegaCluster(ClusterConfig cfg) : cfg_(cfg), net_(exec_, cfg.l
             lts_ = std::make_unique<lts::FileSystemChunkStorage>(cfg_.fsRoot);
             break;
     }
+    if (cfg_.faultInjectLts) {
+        faultLts_ = std::make_unique<lts::FaultInjectionChunkStorage>(exec_, *lts_,
+                                                                      cfg_.ltsFaults);
+    }
 
     for (int s = 0; s < cfg_.segmentStores; ++s) {
         stores_.push_back(std::make_unique<segmentstore::SegmentStore>(
-            exec_, kStoreHostBase + s, walEnv(), *lts_, cfg_.store));
+            exec_, kStoreHostBase + s, walEnv(), lts(), cfg_.store));
         storeAlive_.push_back(true);
     }
 
@@ -89,6 +95,30 @@ Status PravegaCluster::createStream(const std::string& scope, const std::string&
     bool done = runUntil([&]() { return fut.isReady(); }, sim::sec(10));
     if (!done) return Status(Err::Timeout, "stream creation did not finish");
     return fut.result().status();
+}
+
+Status PravegaCluster::crashBookie(size_t index) {
+    if (index >= bookies_.size()) return Status(Err::InvalidArgument, "no such bookie");
+    if (!bookies_[index]->alive()) return Status(Err::InvalidArgument, "bookie already down");
+    bookies_[index]->crash();
+    return Status::ok();
+}
+
+Status PravegaCluster::restartBookie(size_t index) {
+    if (index >= bookies_.size()) return Status(Err::InvalidArgument, "no such bookie");
+    if (bookies_[index]->alive()) return Status(Err::InvalidArgument, "bookie not crashed");
+    bookies_[index]->restart();
+    return Status::ok();
+}
+
+sim::HostId PravegaCluster::storeHost(size_t index) const {
+    return kStoreHostBase + static_cast<sim::HostId>(index);
+}
+
+size_t PravegaCluster::liveStoreCount() const {
+    size_t n = 0;
+    for (bool alive : storeAlive_) n += alive;
+    return n;
 }
 
 Status PravegaCluster::crashStore(size_t index) {

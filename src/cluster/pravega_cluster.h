@@ -15,6 +15,7 @@
 #include "controller/auto_scaler.h"
 #include "controller/controller.h"
 #include "lts/chunk_storage.h"
+#include "lts/fault_injection.h"
 #include "segmentstore/segment_store.h"
 #include "sim/executor.h"
 #include "sim/network.h"
@@ -39,6 +40,14 @@ struct ClusterConfig {
     LtsKind ltsKind = LtsKind::SimulatedObject;
     sim::ObjectStoreModel::Config lts;
     std::string fsRoot = "/tmp/pravega-lts";
+
+    /// Wraps the LTS backend in a FaultInjectionChunkStorage so the chaos
+    /// layer can inject outages/slowdowns (`faultLts()` exposes the knobs).
+    bool faultInjectLts = false;
+    lts::FaultInjectionChunkStorage::Config ltsFaults;
+
+    /// Seed for the network's per-link fault PRNGs (probabilistic loss).
+    uint64_t networkFaultSeed = 0x5EED0FFAULL;
 };
 
 class PravegaCluster {
@@ -50,7 +59,8 @@ public:
     sim::Network& network() { return net_; }
     controller::Controller& ctrl() { return *controller_; }
     ContainerRegistry& registry() { return *registry_; }
-    lts::ChunkStorage& lts() { return *lts_; }
+    /// The storage stores write to (the fault decorator when enabled).
+    lts::ChunkStorage& lts() { return faultLts_ ? *faultLts_ : *lts_; }
     CoordinationStore& coordination() { return coordination_; }
 
     std::vector<segmentstore::SegmentStore*> stores();
@@ -75,6 +85,26 @@ public:
     /// containers to the survivors, exercising WAL fencing (§4.4).
     Status crashStore(size_t index);
 
+    // ---- chaos hooks ----------------------------------------------------
+
+    /// Hard-crashes a bookie: queued journal adds fail, unsynced entries
+    /// are lost, and every RPC is rejected until `restartBookie`.
+    Status crashBookie(size_t index);
+
+    /// Restarts a crashed bookie (journal replay recovers durable entries).
+    Status restartBookie(size_t index);
+
+    bool bookieAlive(size_t index) const {
+        return index < bookies_.size() && bookies_[index]->alive();
+    }
+    sim::HostId bookieHost(size_t index) const { return bookies_[index]->host(); }
+    sim::HostId storeHost(size_t index) const;
+    size_t liveStoreCount() const;
+
+    /// The fault-injection decorator around LTS, or nullptr when
+    /// `faultInjectLts` is off.
+    lts::FaultInjectionChunkStorage* faultLts() { return faultLts_.get(); }
+
     /// Runs the simulation for the given virtual duration / until idle.
     void runFor(sim::Duration d) { exec_.runFor(d); }
     uint64_t runUntilIdle() { return exec_.runUntilIdle(); }
@@ -92,7 +122,8 @@ private:
     wal::LogMetadataStore logMeta_;
     std::vector<std::unique_ptr<sim::DiskModel>> journalDrives_;
     std::vector<std::unique_ptr<wal::Bookie>> bookies_;
-    std::unique_ptr<lts::ChunkStorage> lts_;
+    std::unique_ptr<lts::ChunkStorage> lts_;  // backend
+    std::unique_ptr<lts::FaultInjectionChunkStorage> faultLts_;  // optional decorator
     std::vector<std::unique_ptr<segmentstore::SegmentStore>> stores_;
     std::vector<bool> storeAlive_;
     CoordinationStore coordination_;

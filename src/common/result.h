@@ -25,6 +25,7 @@ enum class Err {
     ContainerOffline,     // segment container shut down / recovering
     Throttled,            // rejected due to backpressure
     CacheFull,            // no free cache blocks; caller must evict
+    Unavailable,          // server crashed / unreachable
     InvalidArgument,
     IoError,
     Timeout,
@@ -110,6 +111,7 @@ inline const char* errName(Err e) {
         case Err::ContainerOffline: return "ContainerOffline";
         case Err::Throttled: return "Throttled";
         case Err::CacheFull: return "CacheFull";
+        case Err::Unavailable: return "Unavailable";
         case Err::InvalidArgument: return "InvalidArgument";
         case Err::IoError: return "IoError";
         case Err::Timeout: return "Timeout";

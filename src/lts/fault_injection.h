@@ -5,7 +5,9 @@
 // requires Pravega to tolerate an LTS that is "not available or temporarily
 // slow"; this decorator is how the test suite and failure-injection benches
 // exercise those paths (storage-writer retries, throttling, idempotent
-// flush resumption).
+// flush resumption). A per-op-kind mask lets tests fail only reads, only
+// appends, etc.; the chaos layer drives outages and slowdowns through the
+// same knobs.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +22,16 @@ namespace pravega::lts {
 
 class FaultInjectionChunkStorage : public ChunkStorage {
 public:
+    /// Operation kinds, usable as a bitmask in Config::failOps.
+    enum OpKind : unsigned {
+        kCreate = 1u << 0,
+        kAppend = 1u << 1,
+        kRead = 1u << 2,
+        kRemove = 1u << 3,
+        kStat = 1u << 4,
+        kAllOps = kCreate | kAppend | kRead | kRemove | kStat,
+    };
+
     struct Config {
         /// Probability that any single operation fails with IoError.
         double failureProbability = 0.0;
@@ -29,6 +41,10 @@ public:
         sim::TimePoint outageEnd = -1;
         /// Extra latency added to every operation ("temporarily slow").
         sim::Duration extraLatency = 0;
+        /// Which operation kinds are eligible for injected failures; ops
+        /// outside the mask pass through (latency still applies to async
+        /// ops). Default: all.
+        unsigned failOps = kAllOps;
         uint64_t seed = 1;
     };
 
@@ -42,34 +58,48 @@ public:
     }
     void endOutage() { cfg_.outageEnd = exec_.now(); }
 
+    /// Adjusts the "temporarily slow" latency at runtime (chaos slowdowns).
+    void setExtraLatency(sim::Duration d) { cfg_.extraLatency = d; }
+
+    /// Restricts injected failures to the given OpKind mask.
+    void setFailOps(unsigned mask) { cfg_.failOps = mask; }
+
     uint64_t injectedFailures() const { return injectedFailures_; }
 
     sim::Future<sim::Unit> create(const std::string& name) override {
-        if (shouldFail()) return failUnit();
+        if (shouldFail(kCreate)) return failUnit();
         return delayed(inner_.create(name));
     }
     sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override {
-        if (shouldFail()) return failUnit();
+        if (shouldFail(kAppend)) return failUnit();
         return delayed(inner_.append(name, std::move(data)));
     }
     sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
                                 uint64_t length) override {
-        if (shouldFail()) {
-            ++injectedFailures_;
+        if (shouldFail(kRead)) {
             return sim::Future<SharedBuf>::failed(Status(Err::IoError, "injected LTS failure"));
         }
         return delayed(inner_.read(name, offset, length));
     }
     sim::Future<sim::Unit> remove(const std::string& name) override {
-        if (shouldFail()) return failUnit();
+        if (shouldFail(kRemove)) return failUnit();
         return delayed(inner_.remove(name));
     }
-    Result<ChunkInfo> stat(const std::string& name) const override { return inner_.stat(name); }
+    Result<ChunkInfo> stat(const std::string& name) const override {
+        // stat() is synchronous, but an unavailable LTS cannot answer
+        // metadata probes either: it honors outage windows and the
+        // probabilistic failure rate like every other op.
+        if (const_cast<FaultInjectionChunkStorage*>(this)->shouldFail(kStat)) {
+            return Status(Err::IoError, "injected LTS failure");
+        }
+        return inner_.stat(name);
+    }
     uint64_t totalBytes() const override { return inner_.totalBytes(); }
     double backlogSeconds() const override { return inner_.backlogSeconds(); }
 
 private:
-    bool shouldFail() {
+    bool shouldFail(OpKind kind) {
+        if ((cfg_.failOps & kind) == 0) return false;
         sim::TimePoint now = exec_.now();
         if (cfg_.outageStart >= 0 && now >= cfg_.outageStart && now < cfg_.outageEnd) {
             ++injectedFailures_;

@@ -208,8 +208,15 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
     // via a conditional table update, then continue or finish.
     auto runPlan = std::make_shared<std::function<void(size_t)>>();
     int64_t finalLength = cursor;
-    *runPlan = [this, segment, plans, runPlan, finalLength, flushCount,
-                flushBytes](size_t i) {
+    // The stored function holds only a weak ref to itself; the strong refs
+    // live in the in-flight continuations. A chain interrupted mid-flight
+    // (executor wound down with an LTS write outstanding) is then reclaimed
+    // with the futures instead of leaking the self-ownership cycle.
+    *runPlan = [this, segment, plans,
+                weakPlan = std::weak_ptr<std::function<void(size_t)>>(runPlan),
+                finalLength, flushCount, flushBytes](size_t i) {
+        auto runPlan = weakPlan.lock();
+        if (!runPlan) return;
         auto& st = segments_[segment];
         if (i >= plans->size()) {
             // Success: retire the flushed entries.
@@ -236,9 +243,6 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
                     }
                 });
             }
-            // Break the runPlan → closure → runPlan ownership cycle once
-            // the chain has unwound.
-            exec_.post([runPlan]() { *runPlan = nullptr; });
             return;
         }
         auto runAppend = [this, plans, runPlan, i, segment]() {
@@ -255,7 +259,6 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
                                   r.status().toString().c_str());
                         st2.flushing = false;
                         --activeFlushes_;
-                        exec_.post([runPlan]() { *runPlan = nullptr; });
                         return;
                     }
                     flushedBytes_ += n;

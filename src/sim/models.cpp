@@ -54,11 +54,45 @@ Future<Unit> DiskModel::write(uint64_t fileId, uint64_t bytes, bool fsync) {
 }
 
 void Link::deliver(uint64_t bytes, Executor::Task fn) {
+    if (partitioned_) {
+        ++droppedMessages_;
+        return;
+    }
+    if (dropNext_ > 0) {
+        --dropNext_;
+        ++droppedMessages_;
+        return;
+    }
+    if (lossProbability_ > 0 && faultRng_.nextDouble() < lossProbability_) {
+        ++droppedMessages_;
+        return;
+    }
+    double bps = cfg_.bytesPerSec;
+    Duration latency = cfg_.latency;
+    if (exec_.now() < degradeUntil_) {
+        bps *= degradeBandwidthFactor_;
+        latency += degradeExtraLatency_;
+    }
     TimePoint start = std::max(nextFree_, exec_.now());
-    nextFree_ = start + transferTime(bytes, cfg_.bytesPerSec);
+    nextFree_ = start + transferTime(bytes, bps);
     bytesSent_ += bytes;
-    TimePoint arrive = nextFree_ + cfg_.latency;
+    TimePoint arrive = nextFree_ + latency;
     exec_.schedule(arrive - exec_.now(), std::move(fn));
+}
+
+void Link::degrade(Duration extraLatency, double bandwidthFactor, Duration duration) {
+    degradeExtraLatency_ = extraLatency;
+    degradeBandwidthFactor_ = bandwidthFactor > 0 ? bandwidthFactor : 1.0;
+    degradeUntil_ = exec_.now() + duration;
+}
+
+void Link::clearFaults() {
+    partitioned_ = false;
+    lossProbability_ = 0.0;
+    dropNext_ = 0;
+    degradeExtraLatency_ = 0;
+    degradeBandwidthFactor_ = 1.0;
+    degradeUntil_ = 0;
 }
 
 ObjectStoreModel::ObjectStoreModel(Executor& exec, Config cfg)

@@ -14,6 +14,7 @@
 
 #include "sim/executor.h"
 #include "sim/future.h"
+#include "sim/random.h"
 #include "sim/time.h"
 
 namespace pravega::sim {
@@ -76,6 +77,13 @@ private:
 /// One direction of a network link: propagation latency plus serialization
 /// at the link bandwidth. Each Link is point-to-point (client NIC → server
 /// NIC); messages on the same link queue behind each other.
+///
+/// Links carry per-direction fault state for the chaos layer: a partition
+/// drops every message, probabilistic loss drops a seeded random subset,
+/// `dropNext(n)` drops exactly the next n messages (deterministic tests),
+/// and a degradation window adds latency and scales down bandwidth until a
+/// virtual-time deadline. Dropped messages simply never deliver — the
+/// sender learns nothing, exactly like a real packet blackhole.
 class Link {
 public:
     struct Config {
@@ -83,18 +91,42 @@ public:
         double bytesPerSec = 1.25 * 1024 * 1024 * 1024;  // 10 Gbps
     };
 
-    Link(Executor& exec, Config cfg) : exec_(exec), cfg_(cfg) {}
+    Link(Executor& exec, Config cfg, uint64_t faultSeed = 0x11C4C11ULL)
+        : exec_(exec), cfg_(cfg), faultRng_(faultSeed) {}
 
     /// Delivers `fn` on the far side after transfer of `bytes`.
     void deliver(uint64_t bytes, Executor::Task fn);
 
+    // ---- fault controls (chaos layer) ----------------------------------
+    void setPartitioned(bool on) { partitioned_ = on; }
+    bool partitioned() const { return partitioned_; }
+    /// Probability in [0,1] that any single message is dropped.
+    void setLossProbability(double p) { lossProbability_ = p; }
+    /// Drops exactly the next `n` messages (deterministic fault injection).
+    void dropNext(int n) { dropNext_ += n; }
+    /// Until `duration` from now, adds `extraLatency` to propagation and
+    /// multiplies bandwidth by `bandwidthFactor` (in (0, 1]).
+    void degrade(Duration extraLatency, double bandwidthFactor, Duration duration);
+    void clearFaults();
+
     uint64_t bytesSent() const { return bytesSent_; }
+    uint64_t droppedMessages() const { return droppedMessages_; }
 
 private:
     Executor& exec_;
     Config cfg_;
     TimePoint nextFree_ = 0;
     uint64_t bytesSent_ = 0;
+
+    // Fault state.
+    bool partitioned_ = false;
+    double lossProbability_ = 0.0;
+    int dropNext_ = 0;
+    Duration degradeExtraLatency_ = 0;
+    double degradeBandwidthFactor_ = 1.0;
+    TimePoint degradeUntil_ = 0;
+    Rng faultRng_;
+    uint64_t droppedMessages_ = 0;
 };
 
 /// A server CPU with `cores` parallel execution lanes. Request handling

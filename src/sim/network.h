@@ -1,11 +1,20 @@
 // Lazily-created point-to-point links between simulated hosts.
+//
+// Besides routing, the network is the chaos layer's entry point for
+// connectivity faults: `partition(a, b)` blackholes both directions of a
+// host pair, `heal` restores them, and loss/degradation knobs forward to
+// the per-direction Link fault state. Each link gets its own fault PRNG
+// seeded deterministically from the network seed and the (from, to) pair,
+// so probabilistic loss replays bit-for-bit from the same seed.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 
+#include "common/hash.h"
 #include "sim/models.h"
 
 namespace pravega::sim {
@@ -16,14 +25,18 @@ using HostId = int;
 
 class Network {
 public:
-    Network(Executor& exec, Link::Config cfg) : exec_(exec), cfg_(cfg) {}
+    Network(Executor& exec, Link::Config cfg, uint64_t faultSeed = 0x5EED0FFAULL)
+        : exec_(exec), cfg_(cfg), faultSeed_(faultSeed) {}
 
     /// The unidirectional link from `from` to `to` (created on first use).
     Link& link(HostId from, HostId to) {
         auto key = std::make_pair(from, to);
         auto it = links_.find(key);
         if (it == links_.end()) {
-            it = links_.emplace(key, std::make_unique<Link>(exec_, cfg_)).first;
+            uint64_t seed = pravega::mix64(
+                faultSeed_ ^ (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32 |
+                              static_cast<uint32_t>(to)));
+            it = links_.emplace(key, std::make_unique<Link>(exec_, cfg_, seed)).first;
         }
         return *it->second;
     }
@@ -33,12 +46,63 @@ public:
         link(from, to).deliver(bytes, std::move(fn));
     }
 
+    // ---- fault controls (chaos layer), all bidirectional ----------------
+
+    /// Drops every message between `a` and `b` until healed.
+    void partition(HostId a, HostId b) {
+        link(a, b).setPartitioned(true);
+        link(b, a).setPartitioned(true);
+        partitioned_.insert(orderPair(a, b));
+    }
+
+    void heal(HostId a, HostId b) {
+        link(a, b).setPartitioned(false);
+        link(b, a).setPartitioned(false);
+        partitioned_.erase(orderPair(a, b));
+    }
+
+    /// Heals every partition (loss/degradation windows are untouched).
+    void healAll() {
+        for (auto [a, b] : std::set<std::pair<HostId, HostId>>(partitioned_)) heal(a, b);
+    }
+
+    bool isPartitioned(HostId a, HostId b) const {
+        return partitioned_.contains(orderPair(a, b));
+    }
+    size_t partitionCount() const { return partitioned_.size(); }
+
+    /// Probabilistic message loss on both directions of a host pair.
+    void setLoss(HostId a, HostId b, double probability) {
+        link(a, b).setLossProbability(probability);
+        link(b, a).setLossProbability(probability);
+    }
+
+    /// Temporary latency/bandwidth degradation on both directions.
+    void degrade(HostId a, HostId b, Duration extraLatency, double bandwidthFactor,
+                 Duration duration) {
+        link(a, b).degrade(extraLatency, bandwidthFactor, duration);
+        link(b, a).degrade(extraLatency, bandwidthFactor, duration);
+    }
+
+    /// Messages dropped by faults across all links.
+    uint64_t droppedMessages() const {
+        uint64_t total = 0;
+        for (const auto& [key, l] : links_) total += l->droppedMessages();
+        return total;
+    }
+
     const Link::Config& config() const { return cfg_; }
 
 private:
+    static std::pair<HostId, HostId> orderPair(HostId a, HostId b) {
+        return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    }
+
     Executor& exec_;
     Link::Config cfg_;
+    uint64_t faultSeed_;
     std::map<std::pair<HostId, HostId>, std::unique_ptr<Link>> links_;
+    std::set<std::pair<HostId, HostId>> partitioned_;
 };
 
 }  // namespace pravega::sim

@@ -15,6 +15,9 @@ Bookie::Bookie(sim::Executor& exec, sim::HostId host, sim::DiskModel& journalDri
       journalFileId_(mix64(0xB00C1E00ULL + static_cast<uint64_t>(host))) {}
 
 sim::Future<sim::Unit> Bookie::addEntry(LedgerId ledger, EntryId entry, SharedBuf data) {
+    if (!alive_) {
+        return sim::Future<sim::Unit>::failed(Status(Err::Unavailable, "bookie crashed"));
+    }
     if (deleted_.contains(ledger)) {
         return sim::Future<sim::Unit>::failed(Status(Err::NotFound, "ledger deleted"));
     }
@@ -23,10 +26,13 @@ sim::Future<sim::Unit> Bookie::addEntry(LedgerId ledger, EntryId entry, SharedBu
         return sim::Future<sim::Unit>::failed(Status(Err::Fenced, "ledger fenced"));
     }
     storedBytes_ += data.size();
-    state.entries[entry] = std::move(data);
+    state.entries[entry] = data;
 
     PendingAdd add;
-    add.journalBytes = state.entries[entry].size() + cfg_.entryOverheadBytes;
+    add.ledger = ledger;
+    add.entry = entry;
+    add.data = std::move(data);
+    add.journalBytes = add.data.size() + cfg_.entryOverheadBytes;
     auto fut = add.done.future();
     pending_.push_back(std::move(add));
     maybeStartFlush();
@@ -39,35 +45,47 @@ void Bookie::maybeStartFlush() {
 
     // Group commit: take everything queued (up to the group bound) into one
     // journal write; requests arriving during the write join the next group.
-    std::vector<sim::Promise<sim::Unit>> group;
+    std::vector<JournalRecord> records;
     uint64_t bytes = 0;
-    while (!pending_.empty() && (group.empty() || bytes < cfg_.maxGroupBytes)) {
+    while (!pending_.empty() && (inFlightAcks_.empty() || bytes < cfg_.maxGroupBytes)) {
         bytes += pending_.front().journalBytes;
-        group.push_back(std::move(pending_.front().done));
+        inFlightAcks_.push_back(std::move(pending_.front().done));
+        records.push_back(JournalRecord{pending_.front().ledger, pending_.front().entry,
+                                        std::move(pending_.front().data)});
         pending_.pop_front();
     }
     // Charge the per-entry processing as equivalent journal bytes so it
     // rides the same serialized device (entries × latency × bandwidth).
     uint64_t entryCost = static_cast<uint64_t>(
-        static_cast<double>(group.size()) *
+        static_cast<double>(inFlightAcks_.size()) *
         static_cast<double>(cfg_.perEntryLatency) / 1e9 * journal_.config().bytesPerSec);
 
     journal_.write(journalFileId_, bytes + entryCost, cfg_.journalSync)
-        .onComplete([this, group = std::move(group)](const Result<sim::Unit>&) mutable {
-            for (auto& p : group) p.setValue(sim::Unit{});
+        .onComplete([this, epoch = epoch_,
+                     records = std::move(records)](const Result<sim::Unit>&) mutable {
+            // Crashed mid-flush: the group is lost; crash() already failed
+            // the acks, and this completion belongs to a dead epoch.
+            if (epoch != epoch_) return;
+            for (auto& rec : records) journalRecords_.push_back(std::move(rec));
+            auto acks = std::move(inFlightAcks_);
+            inFlightAcks_.clear();
             flushInFlight_ = false;
+            for (auto& p : acks) p.setValue(sim::Unit{});
             maybeStartFlush();
         });
 }
 
 Result<EntryId> Bookie::fenceLedger(LedgerId ledger) {
+    if (!alive_) return Status(Err::Unavailable, "bookie crashed");
     if (deleted_.contains(ledger)) return Status(Err::NotFound, "ledger deleted");
     auto& state = ledgers_[ledger];
     state.fenced = true;
+    fenced_.insert(ledger);
     return state.entries.empty() ? kNoEntry : state.entries.rbegin()->first;
 }
 
 Result<SharedBuf> Bookie::readEntry(LedgerId ledger, EntryId entry) const {
+    if (!alive_) return Status(Err::Unavailable, "bookie crashed");
     auto it = ledgers_.find(ledger);
     if (it == ledgers_.end()) return Status(Err::NotFound, "no such ledger");
     auto eit = it->second.entries.find(entry);
@@ -76,18 +94,71 @@ Result<SharedBuf> Bookie::readEntry(LedgerId ledger, EntryId entry) const {
 }
 
 Result<EntryId> Bookie::lastEntry(LedgerId ledger) const {
+    if (!alive_) return Status(Err::Unavailable, "bookie crashed");
     auto it = ledgers_.find(ledger);
     if (it == ledgers_.end()) return Status(Err::NotFound, "no such ledger");
     return it->second.entries.empty() ? kNoEntry : it->second.entries.rbegin()->first;
 }
 
 void Bookie::deleteLedger(LedgerId ledger) {
+    if (!alive_) return;
     auto it = ledgers_.find(ledger);
     if (it != ledgers_.end()) {
         for (const auto& [id, buf] : it->second.entries) storedBytes_ -= buf.size();
         ledgers_.erase(it);
     }
     deleted_.insert(ledger);
+    // The entry-log GC: durable records of a deleted ledger are reclaimed.
+    std::erase_if(journalRecords_, [ledger](const JournalRecord& r) {
+        return r.ledger == ledger;
+    });
+}
+
+void Bookie::crash() {
+    if (!alive_) return;
+    alive_ = false;
+    ++crashCount_;
+    ++epoch_;  // invalidates the in-flight flush completion, if any
+    flushInFlight_ = false;
+    // Queued and mid-flush adds never reach the journal; their clients see
+    // Unavailable (in practice the TCP connection resets).
+    auto doomed = std::move(pending_);
+    pending_.clear();
+    auto doomedAcks = std::move(inFlightAcks_);
+    inFlightAcks_.clear();
+    ledgers_.clear();
+    storedBytes_ = 0;
+    for (auto& add : doomed) {
+        add.done.setError(Status(Err::Unavailable, "bookie crashed"));
+    }
+    for (auto& p : doomedAcks) {
+        p.setError(Status(Err::Unavailable, "bookie crashed"));
+    }
+    PLOG_INFO("bookie", "host %d crashed (%llu journaled records survive)", host_,
+              static_cast<unsigned long long>(journalRecords_.size()));
+}
+
+void Bookie::restart() {
+    if (alive_) return;
+    alive_ = true;
+    rebuildFromJournal();
+    PLOG_INFO("bookie", "host %d restarted: %llu entries recovered", host_,
+              static_cast<unsigned long long>(journalRecords_.size()));
+}
+
+void Bookie::rebuildFromJournal() {
+    ledgers_.clear();
+    storedBytes_ = 0;
+    for (const auto& rec : journalRecords_) {
+        if (deleted_.contains(rec.ledger)) continue;
+        auto& state = ledgers_[rec.ledger];
+        auto [it, inserted] = state.entries.emplace(rec.entry, rec.data);
+        if (inserted) storedBytes_ += rec.data.size();
+    }
+    // Fence markers are durable metadata; re-apply them.
+    for (LedgerId id : fenced_) {
+        if (!deleted_.contains(id)) ledgers_[id].fenced = true;
+    }
 }
 
 }  // namespace pravega::wal

@@ -7,6 +7,13 @@
 // completes. Entries are also kept in an in-memory ledger index for reads
 // and ledger recovery (the entry-log device is not on the ack path and is
 // not modeled; see DESIGN.md).
+//
+// Chaos semantics: a bookie can crash and restart. While crashed every RPC
+// fails with Unavailable. Restart replays the journal: entries whose
+// group-commit completed before the crash are recovered; entries that were
+// only in memory (queued or mid-flush) are lost — which is exactly why the
+// client ack-quorum exists. Fence and delete markers are treated as durable
+// metadata (ZooKeeper-backed in real BK) and survive crashes.
 #pragma once
 
 #include <cstdint>
@@ -59,10 +66,26 @@ public:
     /// Drops all entries of a ledger (WAL truncation deletes ledgers, §4.3).
     void deleteLedger(LedgerId ledger);
 
+    // ---- chaos: crash / restart ----------------------------------------
+
+    /// Hard crash: in-memory state is discarded, queued and mid-flush adds
+    /// fail with Unavailable, and every RPC is rejected until restart.
+    void crash();
+
+    /// Restart after a crash: rebuilds the ledger index by replaying the
+    /// journal (only group-commits that completed before the crash).
+    void restart();
+
+    bool alive() const { return alive_; }
+    uint64_t crashCount() const { return crashCount_; }
+
     uint64_t storedBytes() const { return storedBytes_; }
 
 private:
     struct PendingAdd {
+        LedgerId ledger;
+        EntryId entry;
+        SharedBuf data;
         uint64_t journalBytes;
         sim::Promise<sim::Unit> done;
     };
@@ -70,8 +93,15 @@ private:
         std::map<EntryId, SharedBuf> entries;
         bool fenced = false;
     };
+    /// One durable journal record (replayed on restart).
+    struct JournalRecord {
+        LedgerId ledger;
+        EntryId entry;
+        SharedBuf data;
+    };
 
     void maybeStartFlush();
+    void rebuildFromJournal();
 
     sim::Executor& exec_;
     sim::HostId host_;
@@ -81,9 +111,23 @@ private:
 
     std::deque<PendingAdd> pending_;
     bool flushInFlight_ = false;
+    /// Acks owed by the flush currently on the disk; kept out of the disk
+    /// callback so crash() can fail them (connection reset) instead of
+    /// leaving the clients' futures dangling forever.
+    std::vector<sim::Promise<sim::Unit>> inFlightAcks_;
     std::map<LedgerId, LedgerState> ledgers_;
+    /// Durable metadata: survives crashes (ZooKeeper-backed in real BK).
     std::set<LedgerId> deleted_;
+    std::set<LedgerId> fenced_;
+    /// Durable journal contents: records land here only when their
+    /// group-commit disk write completes.
+    std::vector<JournalRecord> journalRecords_;
     uint64_t storedBytes_ = 0;
+
+    bool alive_ = true;
+    /// Bumped on crash so stale flush-completion callbacks are discarded.
+    uint64_t epoch_ = 0;
+    uint64_t crashCount_ = 0;
 };
 
 }  // namespace pravega::wal

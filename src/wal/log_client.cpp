@@ -11,6 +11,11 @@ namespace pravega::wal {
 LogClient::LogClient(WalEnv env, sim::HostId clientHost, uint64_t logId, Config cfg)
     : env_(std::move(env)), clientHost_(clientHost), logId_(logId), cfg_(cfg) {
     assert(!env_.bookies.empty());
+    // The registry doubles as the bookie availability view; ensemble
+    // changes draw replacements from this pool.
+    if (env_.registry.bookiePool().empty()) {
+        env_.registry.setBookiePool(env_.bookies);
+    }
 }
 
 std::vector<Bookie*> LogClient::pickEnsemble() const {
@@ -56,7 +61,11 @@ void LogClient::rollover() {
         current_->close();
         // The closed handle may still have appends awaiting bookie acks;
         // keep it alive until they drain.
-        std::erase_if(retired_, [](const auto& h) { return !h->hasInFlight(); });
+        std::erase_if(retired_, [this](const auto& h) {
+            if (h->hasInFlight()) return false;
+            ensembleChangesRetired_ += h->ensembleChanges();
+            return true;
+        });
         retired_.push_back(std::move(current_));
     }
     LedgerId id = env_.registry.create(pickEnsemble());
@@ -112,7 +121,11 @@ void LogClient::truncate(LogAddress upTo) {
            (!current_ || refs[0].id != current_->id())) {
         auto* info = env_.registry.find(refs[0].id);
         if (info) {
-            for (Bookie* b : info->ensemble) b->deleteLedger(refs[0].id);
+            // Delete from every member that ever held entries (ensemble
+            // changes may have spread the ledger beyond the final ensemble).
+            const auto& members =
+                info->everMembers.empty() ? info->ensemble : info->everMembers;
+            for (Bookie* b : members) b->deleteLedger(refs[0].id);
         }
         env_.registry.erase(refs[0].id);
         refs.erase(refs.begin());

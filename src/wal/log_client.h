@@ -66,6 +66,15 @@ public:
     size_t ledgerCount() const;
     uint64_t inFlightAppends() const { return inFlightAppends_; }
 
+    /// Cumulative ensemble changes across all this log's ledger handles
+    /// (bookie failures survived without losing availability).
+    uint64_t ensembleChanges() const {
+        uint64_t total = ensembleChangesRetired_;
+        for (const auto& h : retired_) total += h->ensembleChanges();
+        if (current_) total += current_->ensembleChanges();
+        return total;
+    }
+
 private:
     std::vector<Bookie*> pickEnsemble() const;
     void rollover();
@@ -82,6 +91,7 @@ private:
     int64_t nextSequence_ = 0;
     bool initialized_ = false;
     uint64_t inFlightAppends_ = 0;
+    uint64_t ensembleChangesRetired_ = 0;
 
     // In-order completion gate across ledgers: promises are resolved
     // strictly by sequence, holding later completions until earlier ones.

@@ -20,6 +20,13 @@ struct ReplicationConfig {
     int ensembleSize = 3;
     int writeQuorum = 3;
     int ackQuorum = 2;
+    /// Per-entry write timeout: a write-set bookie that has not acked an
+    /// entry within this window is declared failed and replaced (ensemble
+    /// change). 0 disables timeout detection — explicit error responses
+    /// (e.g. a crashed bookie's connection reset) still trigger ensemble
+    /// changes. Keep 0 for the §5.6 slow-bookie memory-growth experiments,
+    /// which rely on a laggard staying in the ensemble.
+    sim::Duration writeTimeout = 0;
 };
 
 /// Address of a WAL entry within a durable log (ledger sequence).

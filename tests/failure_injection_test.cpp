@@ -21,6 +21,52 @@ using segmentstore::SegmentContainer;
 using segmentstore::SegmentId;
 using segmentstore::makeSegmentId;
 
+// ------------------- decorator unit behavior -----------------------------
+
+TEST(FaultInjectionDecoratorTest, ReadFailureCountsExactlyOnce) {
+    sim::Executor exec;
+    lts::InMemoryChunkStorage inner;
+    lts::FaultInjectionChunkStorage flaky(exec, inner,
+                                          lts::FaultInjectionChunkStorage::Config{});
+    flaky.startOutage(sim::sec(1));
+    auto fut = flaky.read("c", 0, 10);
+    ASSERT_TRUE(fut.isReady());
+    EXPECT_EQ(fut.result().code(), Err::IoError);
+    // Regression: the read path used to bump the counter a second time on
+    // top of shouldFail()'s own accounting.
+    EXPECT_EQ(flaky.injectedFailures(), 1u);
+}
+
+TEST(FaultInjectionDecoratorTest, StatHonorsOutagesAndOpMask) {
+    sim::Executor exec;
+    lts::InMemoryChunkStorage inner;
+    inner.create("c");
+    inner.append("c", SharedBuf(toBytes("abc")));
+    exec.runUntilIdle();
+    lts::FaultInjectionChunkStorage flaky(exec, inner,
+                                          lts::FaultInjectionChunkStorage::Config{});
+    ASSERT_TRUE(flaky.stat("c").isOk());
+
+    // An unavailable LTS cannot answer metadata probes either.
+    flaky.startOutage(sim::sec(1));
+    EXPECT_EQ(flaky.stat("c").code(), Err::IoError);
+
+    // Restricting the failure mask to appends exempts stat and read even
+    // inside the outage window.
+    flaky.setFailOps(lts::FaultInjectionChunkStorage::kAppend);
+    EXPECT_TRUE(flaky.stat("c").isOk());
+    auto read = flaky.read("c", 0, 3);
+    ASSERT_TRUE(read.isReady());
+    EXPECT_TRUE(read.result().isOk());
+    auto append = flaky.append("c", SharedBuf(toBytes("x")));
+    ASSERT_TRUE(append.isReady());
+    EXPECT_EQ(append.result().code(), Err::IoError);
+
+    flaky.endOutage();
+    flaky.setFailOps(lts::FaultInjectionChunkStorage::kAllOps);
+    EXPECT_TRUE(flaky.stat("c").isOk());
+}
+
 // ------------------- container + flaky LTS (direct wiring) ---------------
 
 struct FlakyLtsFixture : public ::testing::Test {

@@ -250,6 +250,88 @@ TEST(NetworkTest, LinksAreLazyAndPerPair) {
     EXPECT_EQ(&ab, &net.link(1, 2));
 }
 
+TEST(NetworkFaultTest, PartitionDropsBothDirectionsUntilHealed) {
+    Executor exec;
+    Network net(exec, Link::Config{});
+    int delivered = 0;
+    net.partition(1, 2);
+    EXPECT_TRUE(net.isPartitioned(1, 2));
+    EXPECT_EQ(net.partitionCount(), 1u);
+    net.send(1, 2, 100, [&]() { ++delivered; });
+    net.send(2, 1, 100, [&]() { ++delivered; });
+    exec.runUntilIdle();
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(net.droppedMessages(), 2u);
+
+    net.heal(1, 2);
+    EXPECT_FALSE(net.isPartitioned(1, 2));
+    net.send(1, 2, 100, [&]() { ++delivered; });
+    exec.runUntilIdle();
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkFaultTest, HealAllClearsEveryPartition) {
+    Executor exec;
+    Network net(exec, Link::Config{});
+    net.partition(1, 2);
+    net.partition(3, 4);
+    EXPECT_EQ(net.partitionCount(), 2u);
+    net.healAll();
+    EXPECT_EQ(net.partitionCount(), 0u);
+    int delivered = 0;
+    net.send(3, 4, 10, [&]() { ++delivered; });
+    exec.runUntilIdle();
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkFaultTest, DropNextLosesExactlyThatManyMessages) {
+    Executor exec;
+    Network net(exec, Link::Config{});
+    net.link(1, 2).dropNext(2);
+    std::vector<int> arrived;
+    for (int i = 0; i < 5; ++i) net.send(1, 2, 10, [&arrived, i]() { arrived.push_back(i); });
+    exec.runUntilIdle();
+    EXPECT_EQ(arrived, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(NetworkFaultTest, ProbabilisticLossIsSeedDeterministic) {
+    auto run = [](uint64_t seed) {
+        Executor exec;
+        Network net(exec, Link::Config{}, seed);
+        net.setLoss(1, 2, 0.5);
+        std::vector<int> arrived;
+        for (int i = 0; i < 64; ++i) {
+            net.send(1, 2, 10, [&arrived, i]() { arrived.push_back(i); });
+        }
+        exec.runUntilIdle();
+        return arrived;
+    };
+    auto a = run(123);
+    auto b = run(123);
+    auto c = run(999);
+    EXPECT_EQ(a, b);  // same seed, same losses
+    EXPECT_NE(a, c);  // different seed, different losses
+    EXPECT_GT(a.size(), 0u);
+    EXPECT_LT(a.size(), 64u);
+}
+
+TEST(NetworkFaultTest, DegradationWindowAddsLatencyThenExpires) {
+    Executor exec;
+    Network net(exec, Link::Config{});
+    net.degrade(1, 2, msec(5), 1.0, msec(50));
+    TimePoint slow = 0;
+    net.send(1, 2, 10, [&]() { slow = exec.now(); });
+    exec.runUntilIdle();
+    EXPECT_GE(slow, msec(5));
+
+    exec.runFor(msec(60));  // past the window
+    TimePoint start = exec.now();
+    TimePoint fast = 0;
+    net.send(1, 2, 10, [&]() { fast = exec.now(); });
+    exec.runUntilIdle();
+    EXPECT_LT(fast - start, msec(5));
+}
+
 TEST(ObjectStoreTest, PerStreamCapGovernsSingleTransfer) {
     Executor exec;
     ObjectStoreModel::Config cfg;

@@ -3,6 +3,7 @@
 // truncation (ledger deletion) and recovery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "sim/executor.h"
@@ -294,6 +295,266 @@ TEST_F(WalFixture, NoFlushModeSkipsFsync) {
     exec.runUntilIdle();
     EXPECT_GE(syncTime, sim::msec(1));
     EXPECT_LT(noSyncTime, sim::msec(1));
+}
+
+// ---- chaos: crash/restart, strict ack ordering, ensemble changes --------
+
+TEST_F(WalFixture, BookieCrashLosesUnsyncedRestartRecoversJournal) {
+    diskCfg.fsyncLatency = sim::msec(1);
+    makeBookies(1);
+    bookies[0]->addEntry(1, 0, payload("durable"));
+    exec.runUntilIdle();
+
+    // One entry mid-flush, one still queued at crash time: both fail with
+    // Unavailable and neither reaches the journal.
+    std::vector<Err> codes;
+    auto record = [&](const Result<sim::Unit>& r) { codes.push_back(r.code()); };
+    bookies[0]->addEntry(1, 1, payload("mid-flush")).onComplete(record);
+    bookies[0]->addEntry(1, 2, payload("queued")).onComplete(record);
+    bookies[0]->crash();
+    ASSERT_EQ(codes.size(), 2u);
+    EXPECT_EQ(codes[0], Err::Unavailable);
+    EXPECT_EQ(codes[1], Err::Unavailable);
+    EXPECT_FALSE(bookies[0]->alive());
+    EXPECT_EQ(bookies[0]->readEntry(1, 0).code(), Err::Unavailable);
+    EXPECT_EQ(bookies[0]->addEntry(1, 3, payload("x")).result().code(), Err::Unavailable);
+    exec.runUntilIdle();  // the orphaned disk write completes harmlessly
+
+    bookies[0]->restart();
+    EXPECT_TRUE(bookies[0]->alive());
+    EXPECT_EQ(bookies[0]->crashCount(), 1u);
+    // Journal replay: the acknowledged entry survives, the unsynced do not.
+    EXPECT_EQ(toString(bookies[0]->readEntry(1, 0).value().view()), "durable");
+    EXPECT_EQ(bookies[0]->readEntry(1, 1).code(), Err::NotFound);
+    EXPECT_EQ(bookies[0]->lastEntry(1).value(), 0);
+    EXPECT_EQ(bookies[0]->storedBytes(), 7u);
+
+    // Fence markers are durable metadata: they survive a crash/restart.
+    bookies[0]->fenceLedger(1);
+    bookies[0]->crash();
+    bookies[0]->restart();
+    Status status;
+    bookies[0]->addEntry(1, 4, payload("y")).onComplete([&](const Result<sim::Unit>& r) {
+        status = r.status();
+    });
+    exec.runUntilIdle();
+    EXPECT_EQ(status.code(), Err::Fenced);
+}
+
+TEST_F(WalFixture, AcksStayInOrderWhenLaterEntryQuorumCompletesFirst) {
+    // Ensemble [fast, slow] with writeQuorum=2, ackQuorum=1. Entry 0's
+    // request to the fast bookie is dropped on the wire, so its only copy
+    // lands via the slow bookie (5 ms fsync); entry 1 reaches its quorum on
+    // the fast bookie almost immediately. Entry 1 must NOT acknowledge
+    // before entry 0 does (prefix durability).
+    makeBookies(1);  // fast: default 50 us fsync
+    diskCfg.fsyncLatency = sim::msec(5);
+    disks.push_back(std::make_unique<sim::DiskModel>(exec, diskCfg));
+    bookies.push_back(std::make_unique<Bookie>(exec, 101, *disks.back(), Bookie::Config{}));
+
+    LedgerId id = registry.create(bookiePtrs());
+    ReplicationConfig repl;
+    repl.ensembleSize = 2;
+    repl.writeQuorum = 2;
+    repl.ackQuorum = 1;
+    LedgerHandle handle(exec, net, 1, registry, id, repl);
+
+    net.link(1, 100).dropNext(1);  // silently lose entry 0 -> fast bookie
+    std::vector<EntryId> acked;
+    std::vector<sim::TimePoint> ackedAt;
+    for (int i = 0; i < 2; ++i) {
+        handle.addEntry(payload("e" + std::to_string(i)))
+            .onComplete([&](const Result<EntryId>& r) {
+                ASSERT_TRUE(r.isOk());
+                acked.push_back(r.value());
+                ackedAt.push_back(exec.now());
+            });
+    }
+    exec.runFor(sim::msec(2));
+    // Entry 1 already has an ack quorum (fast bookie) but is gated on
+    // entry 0, which is still in the slow bookie's journal.
+    EXPECT_TRUE(acked.empty());
+    exec.runUntilIdle();
+    ASSERT_EQ(acked.size(), 2u);
+    EXPECT_EQ(acked[0], 0);
+    EXPECT_EQ(acked[1], 1);
+    // Both resolve at the same instant: entry 0's confirmation releases the
+    // already-quorate entry 1 in the same drain.
+    EXPECT_EQ(ackedAt[0], ackedAt[1]);
+    EXPECT_GE(ackedAt[0], sim::msec(5));
+    // The dropped copy never reached the fast bookie, so entry 0 is still
+    // short of the full write quorum (re-replication buffer retains it).
+    EXPECT_EQ(handle.unackedToFullQuorumBytes(), 2u);
+    EXPECT_EQ(net.droppedMessages(), 1u);
+}
+
+TEST_F(WalFixture, EnsembleChangeReplacesCrashedBookie) {
+    makeBookies(5);
+    registry.setBookiePool(bookiePtrs());
+    auto pool = bookiePtrs();
+    std::vector<Bookie*> ensemble(pool.begin(), pool.begin() + 3);
+    LedgerId id = registry.create(ensemble);
+    LedgerHandle handle(exec, net, 1, registry, id, ReplicationConfig{});
+
+    std::vector<EntryId> acked;
+    auto append = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            handle.addEntry(payload("entry")).onComplete([&](const Result<EntryId>& r) {
+                ASSERT_TRUE(r.isOk()) << r.status().toString();
+                acked.push_back(r.value());
+            });
+        }
+    };
+    append(3);
+    exec.runUntilIdle();
+    bookies[1]->crash();
+    append(4);
+    exec.runUntilIdle();
+
+    // All appends acknowledged, in order, despite the crash.
+    ASSERT_EQ(acked.size(), 7u);
+    for (int i = 0; i < 7; ++i) EXPECT_EQ(acked[static_cast<size_t>(i)], i);
+    EXPECT_EQ(handle.ensembleChanges(), 1u);
+    // The replacement (first pool bookie outside the ensemble) now holds the
+    // re-replicated entries; the metadata reflects the swap.
+    auto* info = registry.find(id);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->ensemble.size(), 3u);
+    EXPECT_TRUE(std::find(info->ensemble.begin(), info->ensemble.end(),
+                          bookies[3].get()) != info->ensemble.end());
+    EXPECT_EQ(info->everMembers.size(), 4u);
+    EXPECT_EQ(bookies[3]->lastEntry(id).value(), 6);
+}
+
+TEST_F(WalFixture, WriteTimeoutReplacesSilentlyPartitionedBookie) {
+    // A partition is a silent blackhole (no error response); only the
+    // per-entry write timeout can detect it.
+    makeBookies(4);
+    registry.setBookiePool(bookiePtrs());
+    auto pool = bookiePtrs();
+    std::vector<Bookie*> ensemble(pool.begin(), pool.begin() + 3);
+    LedgerId id = registry.create(ensemble);
+    ReplicationConfig repl;
+    repl.writeTimeout = sim::msec(50);
+    LedgerHandle handle(exec, net, 1, registry, id, repl);
+
+    net.partition(1, bookies[2]->host());
+    std::vector<EntryId> acked;
+    for (int i = 0; i < 3; ++i) {
+        handle.addEntry(payload("entry")).onComplete([&](const Result<EntryId>& r) {
+            ASSERT_TRUE(r.isOk()) << r.status().toString();
+            acked.push_back(r.value());
+        });
+    }
+    // The ack quorum (2 of 3) is reachable, so entries confirm promptly...
+    exec.runFor(sim::msec(10));
+    EXPECT_EQ(acked.size(), 3u);
+    EXPECT_EQ(handle.ensembleChanges(), 0u);
+    // ...and the timeout later swaps the unreachable bookie so the write
+    // quorum recovers (re-replication buffer drains).
+    EXPECT_GT(handle.unackedToFullQuorumBytes(), 0u);
+    exec.runUntilIdle();
+    EXPECT_EQ(handle.ensembleChanges(), 1u);
+    EXPECT_EQ(handle.unackedToFullQuorumBytes(), 0u);
+    EXPECT_EQ(bookies[3]->lastEntry(id).value(), 2);
+}
+
+TEST_F(WalFixture, DegradesToSurvivorsWhenNoSpareBookie) {
+    makeBookies(3);
+    registry.setBookiePool(bookiePtrs());
+    LedgerId id = registry.create(bookiePtrs());
+    LedgerHandle handle(exec, net, 1, registry, id, ReplicationConfig{});
+
+    bookies[2]->crash();
+    std::vector<EntryId> acked;
+    for (int i = 0; i < 3; ++i) {
+        handle.addEntry(payload("entry")).onComplete([&](const Result<EntryId>& r) {
+            ASSERT_TRUE(r.isOk()) << r.status().toString();
+            acked.push_back(r.value());
+        });
+    }
+    exec.runUntilIdle();
+    // No spare: the ensemble degrades to 2 members, which still meets the
+    // ack quorum, so appends remain available.
+    ASSERT_EQ(acked.size(), 3u);
+    EXPECT_EQ(handle.ensembleChanges(), 0u);
+
+    // Losing a second bookie leaves 1 < ackQuorum: appends must fail fast.
+    bookies[1]->crash();
+    Status status;
+    handle.addEntry(payload("entry")).onComplete([&](const Result<EntryId>& r) {
+        status = r.status();
+    });
+    exec.runUntilIdle();
+    EXPECT_EQ(status.code(), Err::Unavailable);
+}
+
+TEST_F(WalFixture, RecoveryReadsEntriesHeldOnlyByReplacedBookies) {
+    // Entries written before an ensemble change may live only on the
+    // since-replaced bookies; recovery must consult them (everMembers).
+    makeBookies(4);
+    registry.setBookiePool(bookiePtrs());
+    auto pool = bookiePtrs();
+    std::vector<Bookie*> ensemble(pool.begin(), pool.begin() + 3);
+    LedgerId id = registry.create(ensemble);
+    {
+        LedgerHandle writer(exec, net, 1, registry, id, ReplicationConfig{});
+        for (int i = 0; i < 3; ++i) writer.addEntry(payload("old-" + std::to_string(i)));
+        exec.runUntilIdle();
+        bookies[0]->crash();
+        for (int i = 0; i < 3; ++i) writer.addEntry(payload("new-" + std::to_string(i)));
+        exec.runUntilIdle();
+        EXPECT_EQ(writer.ensembleChanges(), 1u);
+        bookies[0]->restart();
+    }
+    auto recovered = LedgerHandle::recoverAndClose(registry, id);
+    ASSERT_TRUE(recovered.isOk());
+    ASSERT_EQ(recovered.value().size(), 6u);
+    EXPECT_EQ(toString(recovered.value()[0].view()), "old-0");
+    EXPECT_EQ(toString(recovered.value()[5].view()), "new-2");
+}
+
+TEST_F(WalFixture, LogClientSurvivesBookieCrash) {
+    makeBookies(5);
+    LogClient::Config cfg;
+    cfg.repl.ensembleSize = 3;
+    LogClient log(env(), 1, /*logId=*/3, cfg);
+    ASSERT_TRUE(log.recover().isOk());
+
+    int acked = 0;
+    for (int i = 0; i < 5; ++i) {
+        log.append(payload("pre-" + std::to_string(i)))
+            .onComplete([&](const Result<LogAddress>& r) { acked += r.isOk(); });
+    }
+    exec.runUntilIdle();
+    ASSERT_EQ(acked, 5);
+
+    // Crash a bookie that holds this log's ledger, then keep appending.
+    Bookie* victim = nullptr;
+    for (auto& b : bookies) {
+        if (b->storedBytes() > 0) {
+            victim = b.get();
+            break;
+        }
+    }
+    ASSERT_NE(victim, nullptr);
+    victim->crash();
+    for (int i = 0; i < 5; ++i) {
+        log.append(payload("post-" + std::to_string(i)))
+            .onComplete([&](const Result<LogAddress>& r) { acked += r.isOk(); });
+    }
+    exec.runUntilIdle();
+    EXPECT_EQ(acked, 10);
+    EXPECT_GE(log.ensembleChanges(), 1u);
+
+    // A fresh owner recovers every acknowledged append, in order.
+    LogClient fresh(env(), 2, 3, cfg);
+    auto recovered = fresh.recover();
+    ASSERT_TRUE(recovered.isOk());
+    ASSERT_EQ(recovered.value().size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(recovered.value()[static_cast<size_t>(i)].first.sequence, i);
+    }
 }
 
 TEST_F(WalFixture, EnsembleRotationSpreadsLogs) {
