@@ -6,18 +6,18 @@
 // more operations can batch. This ablation compares the adaptive delay
 // against maxBatchDelay=0 (close frames immediately) at a moderate rate
 // with many small appends, reporting frame efficiency (ops per WAL entry).
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
 
 int main() {
-    std::printf("# Ablation: data-frame delay formula, 16 segments, 100B events\n");
-    std::printf("%18s %12s %12s %9s %9s %14s\n", "mode", "offered(e/s)", "achieved",
-                "p50(ms)", "p95(ms)", "ops/WAL-entry");
-    for (double rate : {50e3, 250e3, 800e3}) {
+    Report report("ablation_delay_formula",
+                  "Ablation: data-frame delay formula, 16 segments, 100B events");
+    const std::vector<double> rates =
+        smoke() ? std::vector<double>{50e3} : std::vector<double>{50e3, 250e3, 800e3};
+    for (double rate : rates) {
         for (bool adaptive : {true, false}) {
             PravegaOptions opt;
             opt.segments = 16;
@@ -29,6 +29,7 @@ int main() {
             w.eventsPerSec = rate;
             w.eventBytes = 100;
             w.window = sim::sec(2);
+            w = shrinkForSmoke(w);
             auto stats = runOpenLoop(world->exec(), world->producers, w);
 
             uint64_t walEntries = 0, ops = 0;
@@ -39,11 +40,15 @@ int main() {
                     ops += store->container(c)->appliedOps();
                 }
             }
-            std::printf("%18s %12.0f %12.0f %9.2f %9.2f %14.1f\n",
-                        adaptive ? "adaptive-delay" : "no-delay", rate,
-                        stats.achievedEventsPerSec, stats.p50Ms, stats.p95Ms,
-                        walEntries ? static_cast<double>(ops) / walEntries : 0.0);
-            std::fflush(stdout);
+            report.addCustom(
+                adaptive ? "adaptive-delay" : "no-delay",
+                {{"offered_events_per_sec", rate},
+                 {"achieved_events_per_sec", stats.achievedEventsPerSec},
+                 {"p50_ms", stats.p50Ms},
+                 {"p95_ms", stats.p95Ms},
+                 {"ops_per_wal_entry",
+                  walEntries ? static_cast<double>(ops) / walEntries : 0.0}},
+                &world->exec().metrics());
         }
     }
     return 0;

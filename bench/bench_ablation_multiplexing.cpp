@@ -5,20 +5,20 @@
 // ablation runs 500 segments at 100 MB/s with 8 containers (multiplexed),
 // 64, and 512 (approaching one log per segment) and reports throughput,
 // latency, and WAL write amplification.
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
 
 int main() {
-    std::printf("# Ablation: container multiplexing, 500 segments, 100 MB/s of 1KB events\n");
-    std::printf("%12s %12s %9s %9s %14s %12s\n", "containers", "achieved", "p50(ms)",
-                "p95(ms)", "wal-entries/s", "journal MB/s");
-    for (uint32_t containers : {8u, 64u, 512u}) {
+    Report report("ablation_multiplexing",
+                  "Ablation: container multiplexing, 500 segments, 100 MB/s of 1KB events");
+    const std::vector<uint32_t> containerCounts =
+        smoke() ? std::vector<uint32_t>{8u} : std::vector<uint32_t>{8u, 64u, 512u};
+    for (uint32_t containers : containerCounts) {
         PravegaOptions opt;
-        opt.segments = 500;
+        opt.segments = smoke() ? 50 : 500;
         opt.numWriters = 10;
         opt.tweak = [containers](cluster::ClusterConfig& cfg) {
             cfg.containerCount = containers;
@@ -29,6 +29,7 @@ int main() {
         w.eventBytes = 1024;
         w.eventsPerSec = 100.0 * 1024;
         w.window = sim::sec(2);
+        w = shrinkForSmoke(w);
         auto stats = runOpenLoop(world->exec(), world->producers, w);
 
         // WAL entry rate and journal bytes across all containers/bookies.
@@ -41,14 +42,18 @@ int main() {
         }
         uint64_t journalBytes = 0;
         for (auto* b : world->cluster->bookies()) journalBytes += b->storedBytes();
-        std::printf("%12u %12.1f %9.2f %9.2f %14.0f %12.1f\n", containers, stats.achievedMBps,
-                    stats.p50Ms, stats.p95Ms,
-                    static_cast<double>(walEntries) / (stats.windowSec + 0.5),
-                    static_cast<double>(journalBytes) / (stats.windowSec + 0.5) /
-                        (1024 * 1024));
-        std::fflush(stdout);
+        report.addCustom(
+            "containers=" + std::to_string(containers),
+            {{"containers", static_cast<double>(containers)},
+             {"achieved_mbps", stats.achievedMBps},
+             {"p50_ms", stats.p50Ms},
+             {"p95_ms", stats.p95Ms},
+             {"wal_entries_per_sec", static_cast<double>(walEntries) / (stats.windowSec + 0.5)},
+             {"journal_mbps", static_cast<double>(journalBytes) / (stats.windowSec + 0.5) /
+                                  (1024 * 1024)}},
+            &world->exec().metrics());
     }
-    std::printf("# Expectation: more containers -> more, smaller WAL entries; latency and\n"
-                "# efficiency degrade as multiplexing is lost (DESIGN.md, EXPERIMENTS.md).\n");
+    report.note("Expectation: more containers -> more, smaller WAL entries; latency and "
+                "efficiency degrade as multiplexing is lost (DESIGN.md, EXPERIMENTS.md).");
     return 0;
 }

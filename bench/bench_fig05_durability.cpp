@@ -7,9 +7,8 @@
 // reaches a max throughput well above Kafka(no flush) while Kafka(flush)
 // pays a large latency penalty at moderate rates; (b) 16 segments —
 // Pravega and Kafka(no flush) both reach ~1M events/s.
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -17,6 +16,8 @@ using namespace pravega::bench;
 namespace {
 
 const double kRates[] = {10e3, 50e3, 100e3, 250e3, 500e3, 800e3, 1.2e6, 1.6e6};
+
+size_t rateCount() { return smoke() ? 1 : std::size(kRates); }
 
 WorkloadConfig workload(double rate) {
     WorkloadConfig cfg;
@@ -26,31 +27,33 @@ WorkloadConfig workload(double rate) {
     cfg.warmup = sim::msec(500);
     cfg.window = sim::sec(3);
     cfg.maxEvents = 1'500'000;
-    return cfg;
+    return shrinkForSmoke(cfg);
 }
 
-void sweepPravega(const char* name, int segments, bool journalSync) {
-    for (double rate : kRates) {
+void sweepPravega(Report& report, const char* name, int segments, bool journalSync) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double rate = kRates[i];
         PravegaOptions opt;
         opt.segments = segments;
         opt.numWriters = 1;
         opt.journalSync = journalSync;
         auto world = makePravega(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        printRow(name, stats);
+        report.add(name, stats, &world->exec().metrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;  // saturated
     }
 }
 
-void sweepKafka(const char* name, int partitions, bool flush) {
-    for (double rate : kRates) {
+void sweepKafka(Report& report, const char* name, int partitions, bool flush) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double rate = kRates[i];
         KafkaOptions opt;
         opt.partitions = partitions;
         opt.numProducers = 1;
         opt.flushEveryMessage = flush;
         auto world = makeKafka(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        printRow(name, stats);
+        report.add(name, stats, &world->exec().metrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;
     }
 }
@@ -58,16 +61,17 @@ void sweepKafka(const char* name, int partitions, bool flush) {
 }  // namespace
 
 int main() {
-    printHeader("Figure 5a: durability, 1 segment/partition, 1 writer, 100B events", "");
-    sweepPravega("pravega-flush/1seg", 1, true);
-    sweepPravega("pravega-noflush/1seg", 1, false);
-    sweepKafka("kafka-noflush/1part", 1, false);
-    sweepKafka("kafka-flush/1part", 1, true);
+    Report report("fig05_durability", "Figure 5: durability vs write performance");
 
-    std::printf("\n");
-    printHeader("Figure 5b: durability, 16 segments/partitions, 1 writer, 100B events", "");
-    sweepPravega("pravega-flush/16seg", 16, true);
-    sweepKafka("kafka-noflush/16part", 16, false);
-    sweepKafka("kafka-flush/16part", 16, true);
+    report.section("Figure 5a: durability, 1 segment/partition, 1 writer, 100B events");
+    sweepPravega(report, "pravega-flush/1seg", 1, true);
+    sweepPravega(report, "pravega-noflush/1seg", 1, false);
+    sweepKafka(report, "kafka-noflush/1part", 1, false);
+    sweepKafka(report, "kafka-flush/1part", 1, true);
+
+    report.section("Figure 5b: durability, 16 segments/partitions, 1 writer, 100B events");
+    sweepPravega(report, "pravega-flush/16seg", 16, true);
+    sweepKafka(report, "kafka-noflush/16part", 16, false);
+    sweepKafka(report, "kafka-flush/16part", 16, true);
     return 0;
 }

@@ -9,9 +9,8 @@
 //     batching (1ms/128KB) and with a throughput-oriented configuration
 //     (10ms linger, 1MB batches). The paper finds the bigger batches do NOT
 //     help under random routing keys.
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -20,6 +19,8 @@ namespace {
 
 const double kRates[] = {5e3, 10e3, 50e3, 100e3, 250e3, 500e3, 800e3, 1.2e6};
 
+size_t rateCount() { return smoke() ? 1 : std::size(kRates); }
+
 WorkloadConfig workload(double rate) {
     WorkloadConfig cfg;
     cfg.eventsPerSec = rate;
@@ -27,41 +28,45 @@ WorkloadConfig workload(double rate) {
     cfg.useKeys = true;
     cfg.window = sim::sec(3);
     cfg.maxEvents = 1'500'000;
-    return cfg;
+    return shrinkForSmoke(cfg);
 }
 
-void sweepPravega(const char* name, int segments) {
-    for (double rate : kRates) {
+void sweepPravega(Report& report, const char* name, int segments) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double rate = kRates[i];
         PravegaOptions opt;
         opt.segments = segments;
         auto world = makePravega(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        printRow(name, stats);
+        report.add(name, stats, &world->exec().metrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;
     }
 }
 
-void sweepPulsar(const char* name, int partitions, bool batching) {
-    for (double rate : kRates) {
+void sweepPulsar(Report& report, const char* name, int partitions, bool batching) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double rate = kRates[i];
         PulsarOptions opt;
         opt.partitions = partitions;
         opt.batchingEnabled = batching;
         auto world = makePulsar(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        printRow(name, stats);
+        report.add(name, stats, &world->exec().metrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;
     }
 }
 
-void sweepKafka(const char* name, int partitions, uint64_t batchBytes, sim::Duration linger) {
-    for (double rate : kRates) {
+void sweepKafka(Report& report, const char* name, int partitions, uint64_t batchBytes,
+                sim::Duration linger) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double rate = kRates[i];
         KafkaOptions opt;
         opt.partitions = partitions;
         opt.batchBytes = batchBytes;
         opt.lingerTime = linger;
         auto world = makeKafka(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        printRow(name, stats);
+        report.add(name, stats, &world->exec().metrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;
     }
 }
@@ -69,15 +74,16 @@ void sweepKafka(const char* name, int partitions, uint64_t batchBytes, sim::Dura
 }  // namespace
 
 int main() {
-    printHeader("Figure 6a: batching strategies, 1 segment/partition, 100B events", "");
-    sweepPravega("pravega-dynamic/1seg", 1);
-    sweepPulsar("pulsar-batch/1part", 1, true);
-    sweepPulsar("pulsar-nobatch/1part", 1, false);
+    Report report("fig06_batching", "Figure 6: client batching strategies");
 
-    std::printf("\n");
-    printHeader("Figure 6b: batching strategies, 16 segments/partitions, 100B events", "");
-    sweepPravega("pravega-dynamic/16seg", 16);
-    sweepKafka("kafka-1ms-128KB/16part", 16, 128 * 1024, sim::msec(1));
-    sweepKafka("kafka-10ms-1MB/16part", 16, 1024 * 1024, sim::msec(10));
+    report.section("Figure 6a: batching strategies, 1 segment/partition, 100B events");
+    sweepPravega(report, "pravega-dynamic/1seg", 1);
+    sweepPulsar(report, "pulsar-batch/1part", 1, true);
+    sweepPulsar(report, "pulsar-nobatch/1part", 1, false);
+
+    report.section("Figure 6b: batching strategies, 16 segments/partitions, 100B events");
+    sweepPravega(report, "pravega-dynamic/16seg", 16);
+    sweepKafka(report, "kafka-1ms-128KB/16part", 16, 128 * 1024, sim::msec(1));
+    sweepKafka(report, "kafka-10ms-1MB/16part", 16, 1024 * 1024, sim::msec(10));
     return 0;
 }

@@ -7,9 +7,8 @@
 // not in the write path) and Kafka ~70 MB/s (single-partition pipeline).
 // (b) 16 segments — Pravega highest (~350 MB/s paper), Kafka close,
 // Pulsar lower.
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -18,6 +17,8 @@ namespace {
 
 const double kRatesMBps[] = {20, 50, 100, 150, 200, 280, 360, 440};
 
+size_t rateCount() { return smoke() ? 1 : std::size(kRatesMBps); }
+
 WorkloadConfig workload(double mbps) {
     WorkloadConfig cfg;
     cfg.eventBytes = 10 * 1024;
@@ -25,15 +26,16 @@ WorkloadConfig workload(double mbps) {
     cfg.useKeys = true;
     cfg.window = sim::sec(3);
     cfg.maxEvents = 200'000;
-    return cfg;
+    return shrinkForSmoke(cfg);
 }
 
 template <typename MakeWorld>
-void sweep(const char* name, MakeWorld make) {
-    for (double mbps : kRatesMBps) {
+void sweep(Report& report, const char* name, MakeWorld make) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double mbps = kRatesMBps[i];
         auto world = make();
         auto stats = runOpenLoop(world->exec(), world->producers, workload(mbps));
-        printRow(name, stats);
+        report.add(name, stats, &world->exec().metrics());
         if (stats.achievedMBps < 0.85 * mbps) break;
     }
 }
@@ -41,42 +43,43 @@ void sweep(const char* name, MakeWorld make) {
 }  // namespace
 
 int main() {
-    printHeader("Figure 7a: 10KB events, 1 segment/partition", "");
-    sweep("pravega-efs/1seg", []() {
+    Report report("fig07_large_events", "Figure 7: 10KB events, byte throughput");
+
+    report.section("Figure 7a: 10KB events, 1 segment/partition");
+    sweep(report, "pravega-efs/1seg", []() {
         PravegaOptions opt;
         opt.segments = 1;
         return makePravega(opt);
     });
-    sweep("pravega-noop-lts/1seg", []() {
+    sweep(report, "pravega-noop-lts/1seg", []() {
         PravegaOptions opt;
         opt.segments = 1;
         opt.ltsKind = cluster::LtsKind::NoOp;
         return makePravega(opt);
     });
-    sweep("pulsar/1part", []() {
+    sweep(report, "pulsar/1part", []() {
         PulsarOptions opt;
         opt.partitions = 1;
         return makePulsar(opt);
     });
-    sweep("kafka/1part", []() {
+    sweep(report, "kafka/1part", []() {
         KafkaOptions opt;
         opt.partitions = 1;
         return makeKafka(opt);
     });
 
-    std::printf("\n");
-    printHeader("Figure 7b: 10KB events, 16 segments/partitions", "");
-    sweep("pravega-efs/16seg", []() {
+    report.section("Figure 7b: 10KB events, 16 segments/partitions");
+    sweep(report, "pravega-efs/16seg", []() {
         PravegaOptions opt;
         opt.segments = 16;
         return makePravega(opt);
     });
-    sweep("pulsar/16part", []() {
+    sweep(report, "pulsar/16part", []() {
         PulsarOptions opt;
         opt.partitions = 16;
         return makePulsar(opt);
     });
-    sweep("kafka/16part", []() {
+    sweep(report, "kafka/16part", []() {
         KafkaOptions opt;
         opt.partitions = 16;
         return makeKafka(opt);

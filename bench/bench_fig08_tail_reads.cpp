@@ -5,9 +5,8 @@
 // up to saturation; Pulsar never gets under ~12ms (p95) due to its
 // dispatcher pipeline; (b) 16 segments — Pulsar's read throughput drops
 // sharply; Kafka/Pravega latency grows at medium-high rates.
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -16,6 +15,8 @@ namespace {
 
 const double kRates[] = {5e3, 10e3, 50e3, 100e3, 250e3, 500e3, 800e3};
 
+size_t rateCount() { return smoke() ? 1 : std::size(kRates); }
+
 WorkloadConfig workload(double rate) {
     WorkloadConfig cfg;
     cfg.eventsPerSec = rate;
@@ -23,53 +24,50 @@ WorkloadConfig workload(double rate) {
     cfg.useKeys = true;
     cfg.window = sim::sec(3);
     cfg.maxEvents = 1'200'000;
-    return cfg;
+    return shrinkForSmoke(cfg);
 }
 
-void rowE2e(const std::string& series, const RunStats& s, const LatencyHistogram& e2e,
-            const ConsumeStats& consumed) {
-    double rate = consumed.eventsPerSec();
-    std::printf("%-34s %12.0f %12.0f %9.2f %9.2f %9.2f %9.2f  (consumer side)\n",
-                series.c_str(), s.offeredEventsPerSec, rate, rate * 100.0 / (1024 * 1024),
-                e2e.percentileMs(50), e2e.percentileMs(95), e2e.percentileMs(99));
-    std::fflush(stdout);
-}
-
-void sweepPravega(const char* name, int segments) {
-    for (double rate : kRates) {
+void sweepPravega(Report& report, const char* name, int segments) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double rate = kRates[i];
         PravegaOptions opt;
         opt.segments = segments;
         opt.numReaders = segments;  // one reader per segment, as in §5.1
         auto world = makePravega(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
         world->exec().runFor(sim::msec(200));  // drain deliveries
-        rowE2e(name, stats, world->e2e, world->consumed);
+        report.addE2e(name, stats, world->consumed.eventsPerSec(), 100, world->e2e,
+                      &world->exec().metrics());
         if (world->consumed.eventsPerSec() < 0.70 * rate) break;
     }
 }
 
-void sweepKafka(const char* name, int partitions) {
-    for (double rate : kRates) {
+void sweepKafka(Report& report, const char* name, int partitions) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double rate = kRates[i];
         KafkaOptions opt;
         opt.partitions = partitions;
         opt.numConsumers = partitions;
         auto world = makeKafka(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
         world->exec().runFor(sim::msec(200));
-        rowE2e(name, stats, world->e2e, world->consumed);
+        report.addE2e(name, stats, world->consumed.eventsPerSec(), 100, world->e2e,
+                      &world->exec().metrics());
         if (world->consumed.eventsPerSec() < 0.70 * rate) break;
     }
 }
 
-void sweepPulsar(const char* name, int partitions) {
-    for (double rate : kRates) {
+void sweepPulsar(Report& report, const char* name, int partitions) {
+    for (size_t i = 0; i < rateCount(); ++i) {
+        double rate = kRates[i];
         PulsarOptions opt;
         opt.partitions = partitions;
         opt.numConsumers = partitions;
         auto world = makePulsar(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
         world->exec().runFor(sim::msec(200));
-        rowE2e(name, stats, world->e2e, world->consumed);
+        report.addE2e(name, stats, world->consumed.eventsPerSec(), 100, world->e2e,
+                      &world->exec().metrics());
         if (world->consumed.eventsPerSec() < 0.70 * rate) break;
     }
 }
@@ -77,16 +75,17 @@ void sweepPulsar(const char* name, int partitions) {
 }  // namespace
 
 int main() {
-    printHeader("Figure 8a: tail reads, 1 segment/partition, 100B events",
-                "achieved/MB/s/latency columns describe the CONSUMER side");
-    sweepPravega("pravega/1seg", 1);
-    sweepKafka("kafka/1part", 1);
-    sweepPulsar("pulsar/1part", 1);
+    Report report("fig08_tail_reads", "Figure 8: tail-read end-to-end latency/throughput");
 
-    std::printf("\n");
-    printHeader("Figure 8b: tail reads, 16 segments/partitions, 100B events", "");
-    sweepPravega("pravega/16seg", 16);
-    sweepKafka("kafka/16part", 16);
-    sweepPulsar("pulsar/16part", 16);
+    report.section("Figure 8a: tail reads, 1 segment/partition, 100B events",
+                   "achieved/MB/s/latency columns describe the CONSUMER side");
+    sweepPravega(report, "pravega/1seg", 1);
+    sweepKafka(report, "kafka/1part", 1);
+    sweepPulsar(report, "pulsar/1part", 1);
+
+    report.section("Figure 8b: tail reads, 16 segments/partitions, 100B events");
+    sweepPravega(report, "pravega/16seg", 16);
+    sweepKafka(report, "kafka/16part", 16);
+    sweepPulsar(report, "pulsar/16part", 16);
     return 0;
 }

@@ -5,9 +5,8 @@
 // several times higher with keys (key-ordered dispatch) while its
 // throughput is unchanged; Kafka is faster without keys (sticky batching);
 // Pravega is virtually insensitive to key dispersion.
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -16,63 +15,66 @@ namespace {
 
 const double kRates[] = {10e3, 50e3, 100e3, 250e3};
 
+size_t rateCount() { return smoke() ? 1 : std::size(kRates); }
+
 WorkloadConfig workload(double rate, bool keys) {
     WorkloadConfig cfg;
     cfg.eventsPerSec = rate;
     cfg.eventBytes = 100;
     cfg.useKeys = keys;
     cfg.window = sim::sec(3);
-    return cfg;
-}
-
-void rowE2e(const std::string& series, const RunStats& s, const LatencyHistogram& e2e,
-            const ConsumeStats& consumed) {
-    double rate = consumed.eventsPerSec();
-    std::printf("%-34s %12.0f %12.0f %9.2f %9.2f %9.2f %9.2f\n", series.c_str(),
-                s.offeredEventsPerSec, rate, rate * 100.0 / (1024 * 1024),
-                e2e.percentileMs(50), e2e.percentileMs(95), e2e.percentileMs(99));
-    std::fflush(stdout);
+    return shrinkForSmoke(cfg);
 }
 
 }  // namespace
 
 int main() {
-    printHeader("Figure 9: routing keys vs no keys, 16 segments/partitions, 100B events",
-                "latency columns are CONSUMER end-to-end");
+    Report report("fig09_routing_keys", "Figure 9: routing keys vs read performance");
+    report.section("Figure 9: routing keys vs no keys, 16 segments/partitions, 100B events",
+                   "latency columns are CONSUMER end-to-end");
     for (bool keys : {true, false}) {
         const char* tag = keys ? "keys" : "nokeys";
-        for (double rate : kRates) {
+        for (size_t i = 0; i < rateCount(); ++i) {
+            double rate = kRates[i];
             PravegaOptions opt;
             opt.segments = 16;
             opt.numReaders = 16;
             auto world = makePravega(opt);
             auto stats = runOpenLoop(world->exec(), world->producers, workload(rate, keys));
             world->exec().runFor(sim::msec(200));
-            rowE2e(std::string("pravega-") + tag, stats, world->e2e, world->consumed);
+            report.addE2e(std::string("pravega-") + tag, stats,
+                          world->consumed.eventsPerSec(), 100, world->e2e,
+                          &world->exec().metrics());
         }
     }
     for (bool keys : {true, false}) {
         const char* tag = keys ? "keys" : "nokeys";
-        for (double rate : kRates) {
+        for (size_t i = 0; i < rateCount(); ++i) {
+            double rate = kRates[i];
             KafkaOptions opt;
             opt.partitions = 16;
             opt.numConsumers = 16;
             auto world = makeKafka(opt);
             auto stats = runOpenLoop(world->exec(), world->producers, workload(rate, keys));
             world->exec().runFor(sim::msec(200));
-            rowE2e(std::string("kafka-") + tag, stats, world->e2e, world->consumed);
+            report.addE2e(std::string("kafka-") + tag, stats,
+                          world->consumed.eventsPerSec(), 100, world->e2e,
+                          &world->exec().metrics());
         }
     }
     for (bool keys : {true, false}) {
         const char* tag = keys ? "keys" : "nokeys";
-        for (double rate : kRates) {
+        for (size_t i = 0; i < rateCount(); ++i) {
+            double rate = kRates[i];
             PulsarOptions opt;
             opt.partitions = 16;
             opt.numConsumers = 16;
             auto world = makePulsar(opt);
             auto stats = runOpenLoop(world->exec(), world->producers, workload(rate, keys));
             world->exec().runFor(sim::msec(200));
-            rowE2e(std::string("pulsar-") + tag, stats, world->e2e, world->consumed);
+            report.addE2e(std::string("pulsar-") + tag, stats,
+                          world->consumed.eventsPerSec(), 100, world->e2e,
+                          &world->exec().metrics());
         }
     }
     return 0;

@@ -4,9 +4,8 @@
 // and 100 writers; Kafka degrades with partition count (dramatically with
 // flush); Pulsar degrades and eventually crashes (OOM) unless run in the
 // favorable configuration (ackQ=3, no routing keys).
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -23,23 +22,31 @@ WorkloadConfig workload(bool keys) {
     cfg.window = sim::sec(2);
     cfg.warmup = sim::msec(500);
     cfg.maxEvents = 900'000;
-    return cfg;
+    return shrinkForSmoke(cfg);
 }
 
-void printTputRow(const char* system, int segments, int producers, double achievedMBps,
-                  double p95Ms, const char* note = "") {
-    std::printf("%-24s segments=%-5d producers=%-4d achieved=%7.1f MB/s  p95=%8.2f ms %s\n",
-                system, segments, producers, achievedMBps, p95Ms, note);
-    std::fflush(stdout);
+void addTputRow(Report& report, const char* system, int segments, int producers,
+                const RunStats& stats, const obs::MetricsRegistry* metrics,
+                const char* note = "") {
+    report.addCustom(system,
+                     {{"segments", static_cast<double>(segments)},
+                      {"producers", static_cast<double>(producers)},
+                      {"achieved_mbps", stats.achievedMBps},
+                      {"p95_ms", stats.p95Ms}},
+                     metrics, note);
 }
 
 }  // namespace
 
 int main() {
-    const int segmentCounts[] = {10, 100, 500, 2000, 5000};
-    const int producerCounts[] = {10, 50, 100};
+    Report report("fig10_parallelism", "Figure 10: segment/writer parallelism at 250 MB/s");
 
-    printHeader("Figure 10a: Pravega & Kafka at 250 MB/s target, 1KB events", "");
+    const std::vector<int> segmentCounts =
+        smoke() ? std::vector<int>{10} : std::vector<int>{10, 100, 500, 2000, 5000};
+    const std::vector<int> producerCounts =
+        smoke() ? std::vector<int>{10} : std::vector<int>{10, 50, 100};
+
+    report.section("Figure 10a: Pravega & Kafka at 250 MB/s target, 1KB events");
     for (int producers : producerCounts) {
         for (int segments : segmentCounts) {
             PravegaOptions opt;
@@ -53,7 +60,8 @@ int main() {
             };
             auto world = makePravega(opt);
             auto stats = runOpenLoop(world->exec(), world->producers, workload(true));
-            printTputRow("pravega", segments, producers, stats.achievedMBps, stats.p95Ms);
+            addTputRow(report, "pravega", segments, producers, stats,
+                       &world->exec().metrics());
         }
     }
     for (int producers : producerCounts) {
@@ -63,7 +71,8 @@ int main() {
             opt.numProducers = producers;
             auto world = makeKafka(opt);
             auto stats = runOpenLoop(world->exec(), world->producers, workload(true));
-            printTputRow("kafka-noflush", segments, producers, stats.achievedMBps, stats.p95Ms);
+            addTputRow(report, "kafka-noflush", segments, producers, stats,
+                       &world->exec().metrics());
         }
     }
     for (int segments : segmentCounts) {
@@ -73,13 +82,14 @@ int main() {
         opt.flushEveryMessage = true;
         auto world = makeKafka(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(true));
-        printTputRow("kafka-flush", segments, 100, stats.achievedMBps, stats.p95Ms);
+        addTputRow(report, "kafka-flush", segments, 100, stats, &world->exec().metrics());
     }
 
-    std::printf("\n");
-    printHeader("Figure 10b: Pulsar at 250 MB/s target, 1KB events",
-                "base config uses keys + ackQ=2; favorable uses no keys + ackQ=3");
-    for (int producers : {10, 100}) {
+    report.section("Figure 10b: Pulsar at 250 MB/s target, 1KB events",
+                   "base config uses keys + ackQ=2; favorable uses no keys + ackQ=3");
+    const std::vector<int> pulsarProducers = smoke() ? std::vector<int>{10}
+                                                     : std::vector<int>{10, 100};
+    for (int producers : pulsarProducers) {
         for (int segments : segmentCounts) {
             {
                 PulsarOptions opt;
@@ -93,8 +103,9 @@ int main() {
                 opt.brokerMemoryLimitBytes = 64ULL * 1024 * 1024;
                 auto world = makePulsar(opt);
                 auto stats = runOpenLoop(world->exec(), world->producers, workload(true));
-                printTputRow("pulsar-base", segments, producers, stats.achievedMBps,
-                             stats.p95Ms, world->cluster->crashed() ? "CRASHED (OOM)" : "");
+                addTputRow(report, "pulsar-base", segments, producers, stats,
+                           &world->exec().metrics(),
+                           world->cluster->crashed() ? "CRASHED (OOM)" : "");
             }
             {
                 PulsarOptions opt;
@@ -107,8 +118,9 @@ int main() {
                 // than growing with time, so the default limit applies.
                 auto world = makePulsar(opt);
                 auto stats = runOpenLoop(world->exec(), world->producers, workload(false));
-                printTputRow("pulsar-favorable", segments, producers, stats.achievedMBps,
-                             stats.p95Ms, world->cluster->crashed() ? "CRASHED (OOM)" : "");
+                addTputRow(report, "pulsar-favorable", segments, producers, stats,
+                           &world->exec().metrics(),
+                           world->cluster->crashed() ? "CRASHED (OOM)" : "");
             }
         }
     }

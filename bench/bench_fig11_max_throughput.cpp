@@ -6,9 +6,8 @@
 // (multiplexing uses the drive efficiently regardless of parallelism);
 // Kafka is high at 10 partitions but collapses at 500 (far worse with
 // flush); Pulsar sits below the drive limit and degrades with partitions.
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -16,6 +15,8 @@ using namespace pravega::bench;
 namespace {
 
 const double kProbesMBps[] = {10, 25, 50, 100, 200, 300, 450, 650, 800, 1000};
+
+size_t probeCount() { return smoke() ? 1 : std::size(kProbesMBps); }
 
 WorkloadConfig workload(double mbps) {
     WorkloadConfig cfg;
@@ -25,28 +26,32 @@ WorkloadConfig workload(double mbps) {
     cfg.window = sim::sec(2);
     cfg.warmup = sim::msec(500);
     cfg.maxEvents = 2'500'000;
-    return cfg;
+    return shrinkForSmoke(cfg);
 }
 
 template <typename MakeWorld>
-void probeMax(const char* system, int segments, MakeWorld make) {
+void probeMax(Report& report, const char* system, int segments, MakeWorld make) {
     double best = 0;
-    for (double mbps : kProbesMBps) {
+    for (size_t i = 0; i < probeCount(); ++i) {
+        double mbps = kProbesMBps[i];
         auto world = make();
         auto stats = runOpenLoop(world->exec(), world->producers, workload(mbps));
         best = std::max(best, stats.achievedMBps);
         if (stats.achievedMBps < 0.90 * mbps) break;  // saturated
     }
-    std::printf("%-24s segments=%-5d max-throughput=%7.1f MB/s\n", system, segments, best);
-    std::fflush(stdout);
+    report.addCustom(system, {{"segments", static_cast<double>(segments)},
+                              {"max_throughput_mbps", best}});
 }
 
 }  // namespace
 
 int main() {
-    std::printf("# Figure 11: max sustained throughput, 10 producers, 1KB events\n");
-    for (int segments : {10, 500}) {
-        probeMax("pravega", segments, [segments]() {
+    Report report("fig11_max_throughput",
+                  "Figure 11: max sustained throughput, 10 producers, 1KB events");
+    const std::vector<int> segmentCounts = smoke() ? std::vector<int>{10}
+                                                   : std::vector<int>{10, 500};
+    for (int segments : segmentCounts) {
+        probeMax(report, "pravega", segments, [segments]() {
             PravegaOptions opt;
             opt.segments = segments;
             opt.numWriters = 10;
@@ -60,20 +65,20 @@ int main() {
             };
             return makePravega(opt);
         });
-        probeMax("kafka-noflush", segments, [segments]() {
+        probeMax(report, "kafka-noflush", segments, [segments]() {
             KafkaOptions opt;
             opt.partitions = segments;
             opt.numProducers = 10;
             return makeKafka(opt);
         });
-        probeMax("kafka-flush", segments, [segments]() {
+        probeMax(report, "kafka-flush", segments, [segments]() {
             KafkaOptions opt;
             opt.partitions = segments;
             opt.numProducers = 10;
             opt.flushEveryMessage = true;
             return makeKafka(opt);
         });
-        probeMax("pulsar", segments, [segments]() {
+        probeMax(report, "pulsar", segments, [segments]() {
             PulsarOptions opt;
             opt.partitions = segments;
             opt.numProducers = 10;

@@ -7,9 +7,8 @@
 // the write rate (731 MB/s in the paper) and catches up; Pulsar's tiered
 // reads never exceed the write rate, so it cannot drain the backlog.
 // (Backlog scaled from the paper's 100 GB to 3 GB: in-memory substrate.)
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -17,8 +16,12 @@ using namespace pravega::bench;
 namespace {
 constexpr double kWriteMBps = 100.0;
 constexpr uint32_t kEventBytes = 10 * 1024;
-constexpr uint64_t kBacklogBytes = 3ULL * 1024 * 1024 * 1024;
 constexpr int kSegments = 16;
+
+uint64_t backlogBytes() {
+    return smoke() ? 96ULL * 1024 * 1024 : 3ULL * 1024 * 1024 * 1024;
+}
+int maxSeconds() { return smoke() ? 8 : 60; }
 
 /// Drives writers at the fixed rate until `until` (virtual time).
 template <typename World>
@@ -39,8 +42,9 @@ void driveWriters(World& world, sim::Rng& rng, sim::TimePoint until) {
 }  // namespace
 
 int main() {
-    std::printf("# Figure 12: historical read performance (backlog %.1f GB, write %.0f MB/s)\n",
-                kBacklogBytes / (1024.0 * 1024 * 1024), kWriteMBps);
+    Report report("fig12_historical_reads", "Figure 12: historical (catch-up) reads");
+    report.note("backlog " + std::to_string(backlogBytes() / (1024 * 1024)) +
+                " MB, write rate 100 MB/s, time series in 1s buckets");
 
     // ---------------- Pravega ----------------
     {
@@ -59,7 +63,7 @@ int main() {
 
         // Build the backlog (no readers yet).
         sim::Duration buildTime =
-            sim::sec(static_cast<double>(kBacklogBytes) / (kWriteMBps * 1024 * 1024));
+            sim::sec(static_cast<double>(backlogBytes()) / (kWriteMBps * 1024 * 1024));
         driveWriters(*world, rng, world->exec().now() + buildTime);
         world->exec().runFor(sim::sec(2));  // let tiering drain
 
@@ -89,12 +93,11 @@ int main() {
         world->exec().runFor(sim::sec(1));
         for (auto& r : readers) pump(r.get());
 
-        std::printf("## pravega: time series (1s buckets)\n");
-        std::printf("%6s %12s %12s %14s\n", "t(s)", "write(MB/s)", "read(MB/s)", "backlog(MB)");
+        report.section("pravega: time series (1s buckets)");
         uint64_t lastDrain = 0;
-        uint64_t written = kBacklogBytes;
+        uint64_t written = backlogBytes();
         double peakRead = 0;
-        for (int t = 0; t < 60; ++t) {
+        for (int t = 0; t < maxSeconds(); ++t) {
             driveWriters(*world, rng, world->exec().now() + sim::sec(1));
             written += static_cast<uint64_t>(kWriteMBps * 1024 * 1024);
             double readMBps = static_cast<double>(drain->bytes - lastDrain) / (1024 * 1024);
@@ -103,15 +106,17 @@ int main() {
             double backlogMB =
                 (static_cast<double>(written) - static_cast<double>(drain->bytes)) /
                 (1024 * 1024);
-            std::printf("%6d %12.1f %12.1f %14.1f\n", t, kWriteMBps, readMBps, backlogMB);
-            std::fflush(stdout);
+            report.addCustom("pravega", {{"t_sec", static_cast<double>(t)},
+                                         {"write_mbps", kWriteMBps},
+                                         {"read_mbps", readMBps},
+                                         {"backlog_mb", backlogMB}});
             if (backlogMB < 50) {
-                std::printf("## pravega: CAUGHT UP at t=%d s (peak read %.1f MB/s)\n", t,
-                            peakRead);
+                report.note("pravega: CAUGHT UP at t=" + std::to_string(t) + " s");
                 break;
             }
         }
-        if (peakRead > 0) std::printf("## pravega: peak read throughput %.1f MB/s\n", peakRead);
+        report.addCustom("pravega-summary", {{"peak_read_mbps", peakRead}},
+                         &world->exec().metrics());
     }
 
     // ---------------- Pulsar ----------------
@@ -124,7 +129,7 @@ int main() {
         sim::Rng rng(7);
 
         sim::Duration buildTime =
-            sim::sec(static_cast<double>(kBacklogBytes) / (kWriteMBps * 1024 * 1024));
+            sim::sec(static_cast<double>(backlogBytes()) / (kWriteMBps * 1024 * 1024));
         driveWriters(*world, rng, world->exec().now() + buildTime);
         world->exec().runFor(sim::sec(2));
 
@@ -136,13 +141,12 @@ int main() {
                 [drained](uint32_t, uint64_t bytes, sim::Duration) { *drained += bytes; }));
         }
 
-        std::printf("## pulsar: time series (1s buckets)\n");
-        std::printf("%6s %12s %12s %14s\n", "t(s)", "write(MB/s)", "read(MB/s)", "backlog(MB)");
+        report.section("pulsar: time series (1s buckets)");
         uint64_t lastDrain = 0;
-        uint64_t written = kBacklogBytes;
+        uint64_t written = backlogBytes();
         double peakRead = 0;
         bool caughtUp = false;
-        for (int t = 0; t < 60; ++t) {
+        for (int t = 0; t < maxSeconds(); ++t) {
             driveWriters(*world, rng, world->exec().now() + sim::sec(1));
             written += static_cast<uint64_t>(kWriteMBps * 1024 * 1024);
             double readMBps = static_cast<double>(*drained - lastDrain) / (1024 * 1024);
@@ -150,16 +154,19 @@ int main() {
             lastDrain = *drained;
             double backlogMB = (static_cast<double>(written) - static_cast<double>(*drained)) /
                                (1024 * 1024);
-            std::printf("%6d %12.1f %12.1f %14.1f\n", t, kWriteMBps, readMBps, backlogMB);
-            std::fflush(stdout);
+            report.addCustom("pulsar", {{"t_sec", static_cast<double>(t)},
+                                        {"write_mbps", kWriteMBps},
+                                        {"read_mbps", readMBps},
+                                        {"backlog_mb", backlogMB}});
             if (backlogMB < 50) {
-                std::printf("## pulsar: caught up at t=%d s\n", t);
+                report.note("pulsar: caught up at t=" + std::to_string(t) + " s");
                 caughtUp = true;
                 break;
             }
         }
-        std::printf("## pulsar: peak read throughput %.1f MB/s%s\n", peakRead,
-                    caughtUp ? "" : " — NEVER caught up (read <= write rate)");
+        report.addCustom("pulsar-summary", {{"peak_read_mbps", peakRead}},
+                         &world->exec().metrics(),
+                         caughtUp ? "" : "NEVER caught up (read <= write rate)");
     }
     return 0;
 }

@@ -4,9 +4,8 @@
 // segment (2k events/s of 10KB events); the benchmark writes 100 MB/s.
 // Paper shapes: the stream splits repeatedly, the load spreads over the
 // segment stores, and p50 write latency drops as splits land.
-#include <cstdio>
-
 #include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 #include "controller/auto_scaler.h"
 
 using namespace pravega;
@@ -50,22 +49,21 @@ int main() {
                                   world->cluster->stores(), acfg);
     scaler.start();
 
-    std::printf("# Figure 13: auto-scaling, 100 MB/s into 1 initial segment, "
-                "target 20 MB/s/segment\n");
-    std::printf("%6s %9s %10s %10s  per-store MB/s\n", "t(s)", "segments", "p50(ms)",
-                "p95(ms)");
+    Report report("fig13_autoscaling",
+                  "Figure 13: auto-scaling, 100 MB/s into 1 initial segment, "
+                  "target 20 MB/s/segment");
+    report.section("time series (1s buckets); per-store MB/s from the scaler's rates");
 
     constexpr double kWriteMBps = 100.0;
     constexpr uint32_t kEventBytes = 10 * 1024;
+    const int seconds = smoke() ? 5 : 60;
     sim::Rng rng(3);
     LatencyHistogram hist;
     double carry = 0;
     size_t rr = 0;
-    std::map<sim::HostId, uint64_t> lastStoreBytes;
 
-    for (int t = 0; t < 60; ++t) {
+    for (int t = 0; t < seconds; ++t) {
         hist.reset();
-        std::map<sim::HostId, uint64_t> storeBytes;
         sim::TimePoint second = world->exec().now() + sim::sec(1);
         while (world->exec().now() < second) {
             carry += kWriteMBps * 1024 * 1024 / kEventBytes / 1000.0;
@@ -85,8 +83,6 @@ int main() {
         }
         auto segments = world->cluster->ctrl().getCurrentSegments("scale/stream");
         size_t segCount = segments ? segments.value().size() : 0;
-        std::printf("%6d %9zu %10.2f %10.2f  ", t, segCount, hist.percentileMs(50),
-                    hist.percentileMs(95));
         // Per-store ingest in this second (Fig 13's top plot). The scaler
         // drains the raw counters; its per-segment rates map back to the
         // owning stores.
@@ -96,13 +92,25 @@ int main() {
             auto uri = world->cluster->ctrl().uriOf(seg);
             if (uri) perStore[uri.value().store->host()] += rate;
         }
-        for (auto& [host, rate] : perStore) std::printf("%7.1f", rate / (1024 * 1024));
-        std::printf("\n");
-        std::fflush(stdout);
+        std::vector<std::pair<std::string, double>> row = {
+            {"t_sec", static_cast<double>(t)},
+            {"segments", static_cast<double>(segCount)},
+            {"p50_ms", hist.percentileMs(50)},
+            {"p95_ms", hist.percentileMs(95)}};
+        int storeIdx = 0;
+        for (auto& [host, rate] : perStore) {
+            row.emplace_back("store" + std::to_string(storeIdx++) + "_mbps",
+                             rate / (1024 * 1024));
+        }
+        report.addCustom("autoscale", row);
     }
     scaler.stop();
-    std::printf("# splits issued: %llu, final segments: %u\n",
-                static_cast<unsigned long long>(scaler.splitsIssued()),
-                world->cluster->ctrl().scaleEventCount("scale/stream") + 1);
+    report.addCustom("summary",
+                     {{"splits_issued", static_cast<double>(scaler.splitsIssued())},
+                      {"final_segments", static_cast<double>(world->cluster->ctrl()
+                                                                 .scaleEventCount(
+                                                                     "scale/stream") +
+                                                             1)}},
+                     &world->exec().metrics());
     return 0;
 }

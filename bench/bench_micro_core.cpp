@@ -1,11 +1,21 @@
-// Micro-benchmarks (google-benchmark) for the core data structures: the
-// Fig 4 block cache, the AVL read index, serialization, and the latency
-// histogram used by the harness.
+// Micro-benchmarks for the core data structures (the Fig 4 block cache, the
+// AVL read index, serialization, the obs:: latency histogram) plus a
+// deterministic virtual-time core scenario.
+//
+// The scenario runs first and emits BENCH_micro_core.json through
+// bench::Report: every value in it derives from virtual time and seeded
+// randomness, so two same-seed runs write byte-identical JSON (and, with
+// BENCH_DUMP_METRICS=1, print byte-identical obs:: registry dumps) — the
+// acceptance check for the metrics determinism contract. The wall-clock
+// google-benchmark suites run afterwards (skipped under BENCH_SMOKE=1).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 
-#include "bench/harness/histogram.h"
+#include "bench/harness/adapters.h"
+#include "bench/harness/report.h"
 #include "common/serde.h"
 #include "segmentstore/avl_map.h"
 #include "segmentstore/cache.h"
@@ -134,4 +144,47 @@ void BM_HistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRecord);
 
+/// Deterministic virtual-time scenario: a small Pravega deployment with
+/// writers and tail readers, reported with the full obs:: registry.
+void runDeterministicScenario() {
+    using namespace pravega::bench;
+    Report report("micro_core", "micro: deterministic core write/read scenario");
+    report.section("core scenario: 4 segments, 2 writers, 4 tail readers, 1KB events");
+
+    PravegaOptions opt;
+    opt.segments = 4;
+    opt.numWriters = 2;
+    opt.numReaders = 4;
+    auto world = makePravega(opt);
+
+    WorkloadConfig w;
+    w.eventsPerSec = 20'000;
+    w.eventBytes = 1024;
+    w.warmup = sim::msec(200);
+    w.window = sim::sec(1);
+    w.seed = 42;
+    w = shrinkForSmoke(w);
+    auto stats = runOpenLoop(world->exec(), world->producers, w);
+    world->exec().runFor(sim::msec(200));  // drain tail deliveries
+    report.add("core-scenario", stats, &world->exec().metrics());
+    report.finish();
+
+    const char* dump = std::getenv("BENCH_DUMP_METRICS");
+    if (dump != nullptr && dump[0] == '1') {
+        std::printf("=== obs registry dump ===\n%s",
+                    world->exec().metrics().dump().c_str());
+        std::fflush(stdout);
+    }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+    runDeterministicScenario();
+    if (pravega::bench::smoke()) return 0;  // skip wall-clock microbenches in CI smoke
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

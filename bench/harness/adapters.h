@@ -11,7 +11,6 @@
 
 #include "baselines/kafka_like.h"
 #include "baselines/pulsar_like.h"
-#include "bench/harness/histogram.h"
 #include "bench/harness/workload.h"
 #include "client/event_reader.h"
 #include "cluster/pravega_cluster.h"

@@ -100,18 +100,4 @@ RunStats runOpenLoop(sim::Executor& exec, std::vector<Producer>& producers,
     return out;
 }
 
-void printHeader(const char* figure, const char* columns) {
-    std::printf("# %s\n", figure);
-    std::printf("%-34s %12s %12s %9s %9s %9s %9s\n", "series", "offered(e/s)",
-                "achieved(e/s)", "MB/s", "p50(ms)", "p95(ms)", "p99(ms)");
-    if (columns && columns[0]) std::printf("# %s\n", columns);
-}
-
-void printRow(const std::string& series, const RunStats& s) {
-    std::printf("%-34s %12.0f %12.0f %9.2f %9.2f %9.2f %9.2f\n", series.c_str(),
-                s.offeredEventsPerSec, s.achievedEventsPerSec, s.achievedMBps, s.p50Ms, s.p95Ms,
-                s.p99Ms);
-    std::fflush(stdout);
-}
-
 }  // namespace pravega::bench

@@ -9,11 +9,15 @@
 #include <string>
 #include <vector>
 
-#include "bench/harness/histogram.h"
+#include "obs/histogram.h"
 #include "sim/executor.h"
 #include "sim/random.h"
 
 namespace pravega::bench {
+
+/// The harness records latency with the observability layer's log-bucketed
+/// histogram (one histogram implementation in the tree; see src/obs/).
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// One producer's send entry point. `ack(ok)` may be null (unsampled).
 using SendFn = std::function<void(std::string_view key, uint32_t size,
@@ -52,9 +56,5 @@ struct RunStats {
 /// (acknowledged events per second of measurement window).
 RunStats runOpenLoop(sim::Executor& exec, std::vector<Producer>& producers,
                      const WorkloadConfig& cfg);
-
-/// Helper: standard row printer for the figure benches.
-void printHeader(const char* figure, const char* columns);
-void printRow(const std::string& series, const RunStats& s);
 
 }  // namespace pravega::bench

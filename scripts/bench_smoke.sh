@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Bench smoke: run every bench binary at one tiny sweep point (BENCH_SMOKE=1),
+# validate each emitted BENCH_<name>.json against the pravega-bench/v1
+# schema, and check the metrics determinism contract (two same-seed runs of
+# bench_micro_core produce byte-identical JSON and obs:: registry dumps).
+#
+# Usage: bench_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BENCH_DIR="${BUILD_DIR}/bench"
+[[ -d "${BENCH_DIR}" ]] || { echo "no bench dir at ${BENCH_DIR}" >&2; exit 1; }
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "${OUT_DIR}"' EXIT
+
+ran=0
+for bin in "${BENCH_DIR}"/bench_*; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  echo "== smoke: ${name} =="
+  BENCH_SMOKE=1 BENCH_OUT_DIR="${OUT_DIR}" "${bin}" > "${OUT_DIR}/${name}.out" 2>&1 \
+    || { echo "${name} FAILED:" >&2; tail -30 "${OUT_DIR}/${name}.out" >&2; exit 1; }
+  ran=$((ran + 1))
+done
+[[ "${ran}" -gt 0 ]] || { echo "no bench binaries found in ${BENCH_DIR}" >&2; exit 1; }
+
+echo "== validate JSON (${ran} binaries) =="
+json_count="$(ls "${OUT_DIR}"/BENCH_*.json 2>/dev/null | wc -l)"
+if [[ "${json_count}" -ne "${ran}" ]]; then
+  echo "expected ${ran} BENCH_*.json files, found ${json_count}" >&2
+  ls "${OUT_DIR}" >&2
+  exit 1
+fi
+python3 scripts/validate_bench_json.py "${OUT_DIR}"/BENCH_*.json
+
+echo "== determinism: bench_micro_core twice, byte-identical output =="
+DET_A="${OUT_DIR}/det-a"
+DET_B="${OUT_DIR}/det-b"
+mkdir -p "${DET_A}" "${DET_B}"
+BENCH_SMOKE=1 BENCH_DUMP_METRICS=1 BENCH_OUT_DIR="${DET_A}" \
+  "${BENCH_DIR}/bench_micro_core" > "${DET_A}/stdout.txt"
+BENCH_SMOKE=1 BENCH_DUMP_METRICS=1 BENCH_OUT_DIR="${DET_B}" \
+  "${BENCH_DIR}/bench_micro_core" > "${DET_B}/stdout.txt"
+# Scrub the (path-bearing) "wrote ..." line before comparing stdout.
+sed -i '/^# wrote /d' "${DET_A}/stdout.txt" "${DET_B}/stdout.txt"
+diff "${DET_A}/BENCH_micro_core.json" "${DET_B}/BENCH_micro_core.json" \
+  || { echo "BENCH_micro_core.json differs between same-seed runs" >&2; exit 1; }
+diff "${DET_A}/stdout.txt" "${DET_B}/stdout.txt" \
+  || { echo "metric dump differs between same-seed runs" >&2; exit 1; }
+
+echo "bench smoke OK (${ran} binaries, JSON valid, deterministic)"

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json files against the pravega-bench/v1 schema.
+
+Usage: validate_bench_json.py FILE [FILE...]
+Exits non-zero (with a message naming the file and violation) on the first
+file that does not conform.
+"""
+import json
+import sys
+
+SCHEMA = "pravega-bench/v1"
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_number_map(path, obj, where):
+    if not isinstance(obj, dict):
+        fail(path, f"{where} must be an object")
+    for key, value in obj.items():
+        if not isinstance(key, str):
+            fail(path, f"{where} key {key!r} is not a string")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            fail(path, f"{where}[{key!r}] is not a number: {value!r}")
+
+
+def validate(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(path, f"invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+    for key in ("schema", "name", "title", "smoke", "rows", "notes"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    if doc["schema"] != SCHEMA:
+        fail(path, f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        fail(path, "name must be a non-empty string")
+    if not isinstance(doc["title"], str):
+        fail(path, "title must be a string")
+    if not isinstance(doc["smoke"], bool):
+        fail(path, "smoke must be a boolean")
+    if not isinstance(doc["rows"], list):
+        fail(path, "rows must be an array")
+    if not doc["rows"]:
+        fail(path, "rows is empty — the bench reported nothing")
+    for i, row in enumerate(doc["rows"]):
+        where = f"rows[{i}]"
+        if not isinstance(row, dict):
+            fail(path, f"{where} must be an object")
+        for key in ("section", "series", "values", "metrics"):
+            if key not in row:
+                fail(path, f"{where} missing key {key!r}")
+        if not isinstance(row["section"], str):
+            fail(path, f"{where}.section must be a string")
+        if not isinstance(row["series"], str) or not row["series"]:
+            fail(path, f"{where}.series must be a non-empty string")
+        if "note" in row and not isinstance(row["note"], str):
+            fail(path, f"{where}.note must be a string")
+        check_number_map(path, row["values"], f"{where}.values")
+        if not row["values"]:
+            fail(path, f"{where}.values is empty")
+        check_number_map(path, row["metrics"], f"{where}.metrics")
+    if not isinstance(doc["notes"], list) or any(
+        not isinstance(n, str) for n in doc["notes"]
+    ):
+        fail(path, "notes must be an array of strings")
+    print(f"{path}: OK ({len(doc['rows'])} rows)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        validate(path)
+
+
+if __name__ == "__main__":
+    main()

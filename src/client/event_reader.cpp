@@ -139,6 +139,7 @@ std::optional<EventRead> EventReader::pollEvent() {
         if (payload) {
             rrLast_ = seg;
             ++eventsRead_;
+            exec_.metrics().counter("client.reader.events").inc();
             return EventRead{std::move(*payload), seg, stream->position()};
         }
     }
@@ -156,6 +157,7 @@ sim::Future<EventRead> EventReader::readNextEvent() {
     if (deliverBuffered(promise)) return fut;
     handleEndedSegments();
     waiting_.emplace(std::move(promise));
+    waitStart_ = exec_.now();
     return fut;
 }
 
@@ -165,6 +167,12 @@ void EventReader::onData() {
         waiting_.reset();
         if (!deliverBuffered(promise)) {
             waiting_.emplace(std::move(promise));
+        } else {
+            // Tail-read dispatch: how long a parked reader waited for new
+            // data to arrive and wake it (§4.2 read side).
+            exec_.metrics()
+                .histogram("trace.read.0_dispatch_ns")
+                .record(exec_.now() - waitStart_);
         }
     }
     handleEndedSegments();

@@ -66,6 +66,7 @@ private:
     std::set<SegmentId> releasing_;   // excluded from reads while a release is in flight
     std::set<SegmentId> completing_;  // end-of-segment protocol in progress
     std::optional<sim::Promise<EventRead>> waiting_;
+    sim::TimePoint waitStart_ = 0;  // when waiting_ was parked (trace stage)
     SegmentId rrLast_ = 0;  // round-robin cursor across assigned segments
     bool updateInFlight_ = false;
     bool closed_ = false;

@@ -65,6 +65,7 @@ void EventWriter::writeEvent(std::string_view routingKey, BytesView payload, Eve
         return;
     }
     ++eventsWritten_;
+    exec_.metrics().counter("client.writer.events_submitted").inc();
     if (stream->sealed()) {
         // A scale event is mid-flight for this key range: queue behind the
         // events already awaiting re-route so per-key order is preserved.
@@ -130,6 +131,7 @@ void EventWriter::rerouteWhenReady(SegmentId segment,
         return;
     }
     rerouted_ += queue.size();
+    exec_.metrics().counter("client.writer.rerouted").inc(queue.size());
     for (auto& e : queue) {
         SegmentOutputStream* stream = streamForHash(e.keyHash);
         if (!stream) {

@@ -26,8 +26,13 @@ SegmentOutputStream::SegmentOutputStream(sim::Executor& exec, sim::Network& net,
       writerId_(writerId),
       cfg_(cfg),
       onSealed_(std::move(onSealed)),
+      alive_(std::make_shared<bool>(true)),
       rttEstimateNs_(static_cast<double>(cfg.initialRttGuess)),
-      alive_(std::make_shared<bool>(true)) {
+      mBlocks_(exec.metrics().counter("client.writer.blocks")),
+      mEvents_(exec.metrics().counter("client.writer.events")),
+      mBlockBytes_(exec.metrics().histogram("client.writer.block_bytes")),
+      mBatchWaitNs_(exec.metrics().histogram("trace.write.0_client_batch_wait_ns")),
+      mRttNs_(exec.metrics().histogram("client.writer.rtt_ns")) {
     // SetupAppend handshake: fetch the last event number recorded for this
     // writer id so a resumed writer continues from the right place (§3.2).
     setupDone_ = false;
@@ -133,8 +138,14 @@ void SegmentOutputStream::sendBlock(Block block) {
     outstandingBytes_ += wireBytes;
     block.sentAt = exec_.now();
     if (block.lastEventNumber < 0) {
-        // First transmission: number the block's events. Retransmitted
-        // blocks keep their numbers so the server can dedup them.
+        // First transmission only (not a retransmit): trace how long the
+        // batch accumulated before hitting the wire.
+        mBlocks_.inc();
+        mEvents_.inc(block.events.size());
+        mBlockBytes_.record(static_cast<sim::Duration>(block.data.size()));
+        mBatchWaitNs_.record(block.sentAt - block.openedAt);
+        // Number the block's events. Retransmitted blocks keep their
+        // numbers so the server can dedup them.
         block.lastEventNumber =
             nextEventNumber_ + static_cast<int64_t>(block.events.size()) - 1;
         nextEventNumber_ = block.lastEventNumber + 1;
@@ -187,6 +198,7 @@ void SegmentOutputStream::onBlockAck(Block block, const Result<int64_t>& result,
                                      sim::TimePoint sentAt) {
     double rttSample = static_cast<double>(exec_.now() - sentAt);
     rttEstimateNs_ = rttEstimateNs_ * 0.7 + rttSample * 0.3;
+    mRttNs_.record(exec_.now() - sentAt);
 
     if (result.isOk()) {
         for (auto& e : block.events) {

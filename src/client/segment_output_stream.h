@@ -133,6 +133,13 @@ private:
     double rttEstimateNs_;
     double inputRateBytesPerSec_ = 0;
     sim::TimePoint lastEventAt_ = 0;
+
+    // World-aggregate client-writer metrics.
+    obs::Counter& mBlocks_;
+    obs::Counter& mEvents_;
+    obs::LatencyHistogram& mBlockBytes_;
+    obs::LatencyHistogram& mBatchWaitNs_;
+    obs::LatencyHistogram& mRttNs_;
 };
 
 }  // namespace pravega::client

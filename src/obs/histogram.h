@@ -1,5 +1,10 @@
 // Log-bucketed latency histogram (HdrHistogram-style): constant memory,
 // cheap recording, percentile queries for the latency-vs-throughput curves.
+//
+// Promoted from bench/harness into the obs:: layer so the benches, the
+// component instrumentation, and the tests all share ONE histogram
+// implementation. Recording is pure arithmetic over virtual-time durations,
+// so same-seed runs produce bit-identical histograms.
 #pragma once
 
 #include <algorithm>
@@ -9,7 +14,7 @@
 
 #include "sim/time.h"
 
-namespace pravega::bench {
+namespace pravega::obs {
 
 class LatencyHistogram {
 public:
@@ -24,18 +29,24 @@ public:
     uint64_t count() const { return count_; }
     double meanMs() const { return count_ ? sum_ / static_cast<double>(count_) / 1e6 : 0; }
     double maxMs() const { return static_cast<double>(max_) / 1e6; }
+    double meanNs() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+    double maxNs() const { return static_cast<double>(max_); }
+    double sumNs() const { return sum_; }
 
-    /// Approximate percentile (upper bound of the containing bucket), ms.
-    double percentileMs(double p) const {
+    /// Approximate percentile (upper bound of the containing bucket), ns.
+    double percentileNs(double p) const {
         if (count_ == 0) return 0;
         uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1));
         uint64_t seen = 0;
         for (size_t i = 0; i < buckets_.size(); ++i) {
             seen += buckets_[i];
-            if (seen > rank) return bucketUpperNs(i) / 1e6;
+            if (seen > rank) return bucketUpperNs(i);
         }
-        return maxMs();
+        return maxNs();
     }
+
+    /// Approximate percentile (upper bound of the containing bucket), ms.
+    double percentileMs(double p) const { return percentileNs(p) / 1e6; }
 
     void reset() {
         buckets_.fill(0);
@@ -43,6 +54,9 @@ public:
         sum_ = 0;
         max_ = 0;
     }
+
+    /// Worst-case relative error of a percentile query: one bucket step.
+    static constexpr double kBucketRelativeError = 0.125;
 
 private:
     // 20 ns .. ~100 s in 12.5% steps: 8 sub-buckets per octave.
@@ -66,4 +80,4 @@ private:
     sim::Duration max_ = 0;
 };
 
-}  // namespace pravega::bench
+}  // namespace pravega::obs

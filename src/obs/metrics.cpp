@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace pravega::obs {
+namespace {
+
+// Fixed-format double rendering shared by dump() and toJson(). %.6g is
+// locale-independent here (no locale is ever set in this codebase) and
+// deterministic for equal inputs, which is all the byte-identical contract
+// needs.
+std::string fmtDouble(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string jsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+RateMeter::RateMeter(NowFn now, sim::Duration window, size_t buckets)
+    : now_(std::move(now)),
+      window_(window),
+      bucketWidth_(window / static_cast<sim::Duration>(buckets)),
+      createdAt_(now_()),
+      ring_(buckets, 0),
+      currentBucket_(createdAt_ / std::max<sim::Duration>(bucketWidth_, 1)) {
+    if (bucketWidth_ <= 0) bucketWidth_ = 1;
+}
+
+void RateMeter::advanceTo(sim::TimePoint now) const {
+    int64_t target = now / bucketWidth_;
+    if (target <= currentBucket_) return;
+    int64_t steps = target - currentBucket_;
+    auto n = static_cast<int64_t>(ring_.size());
+    if (steps >= n) {
+        std::fill(ring_.begin(), ring_.end(), 0);
+    } else {
+        for (int64_t b = currentBucket_ + 1; b <= target; ++b) {
+            ring_[static_cast<size_t>(b % n)] = 0;
+        }
+    }
+    currentBucket_ = target;
+}
+
+void RateMeter::mark(uint64_t n) {
+    sim::TimePoint now = now_();
+    advanceTo(now);
+    ring_[static_cast<size_t>(currentBucket_ % static_cast<int64_t>(ring_.size()))] += n;
+    total_ += n;
+}
+
+double RateMeter::perSecond() const {
+    sim::TimePoint now = now_();
+    advanceTo(now);
+    uint64_t inWindow = 0;
+    for (uint64_t v : ring_) inWindow += v;
+    sim::Duration span = std::min<sim::Duration>(window_, now - createdAt_);
+    if (span <= 0) return 0;
+    return static_cast<double>(inWindow) / sim::toSeconds(span);
+}
+
+MetricsRegistry::MetricsRegistry(RateMeter::NowFn now) : now_(std::move(now)) {}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<LatencyHistogram>();
+    return *slot;
+}
+
+RateMeter& MetricsRegistry::meter(const std::string& name, sim::Duration window) {
+    auto& slot = meters_[name];
+    if (!slot) slot = std::make_unique<RateMeter>(now_, window);
+    return *slot;
+}
+
+const Counter* MetricsRegistry::findCounter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::findGauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const LatencyHistogram* MetricsRegistry::findHistogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+const RateMeter* MetricsRegistry::findMeter(const std::string& name) const {
+    auto it = meters_.find(name);
+    return it == meters_.end() ? nullptr : it->second.get();
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string& name) const {
+    const Counter* c = findCounter(name);
+    return c ? c->value() : 0;
+}
+
+std::string MetricsRegistry::dump() const {
+    std::string out;
+    char buf[256];
+    for (const auto& [name, c] : counters_) {
+        std::snprintf(buf, sizeof(buf), "counter %s %llu\n", name.c_str(),
+                      static_cast<unsigned long long>(c->value()));
+        out += buf;
+    }
+    for (const auto& [name, g] : gauges_) {
+        out += "gauge ";
+        out += name;
+        out += " ";
+        out += fmtDouble(g->value());
+        out += "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+        std::snprintf(buf, sizeof(buf), "histogram %s count=%llu", name.c_str(),
+                      static_cast<unsigned long long>(h->count()));
+        out += buf;
+        out += " mean_ns=";
+        out += fmtDouble(h->meanNs());
+        out += " p50_ns=";
+        out += fmtDouble(h->percentileNs(50));
+        out += " p95_ns=";
+        out += fmtDouble(h->percentileNs(95));
+        out += " p99_ns=";
+        out += fmtDouble(h->percentileNs(99));
+        out += " max_ns=";
+        out += fmtDouble(h->maxNs());
+        out += "\n";
+    }
+    for (const auto& [name, m] : meters_) {
+        std::snprintf(buf, sizeof(buf), "meter %s total=%llu", name.c_str(),
+                      static_cast<unsigned long long>(m->total()));
+        out += buf;
+        out += " per_sec=";
+        out += fmtDouble(m->perSecond());
+        out += "\n";
+    }
+    return out;
+}
+
+std::string MetricsRegistry::toJson() const {
+    std::string out = "{";
+    out += "\"counters\":{";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += jsonEscape(name);
+        out += "\":";
+        out += std::to_string(c->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += jsonEscape(name);
+        out += "\":";
+        out += fmtDouble(g->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += jsonEscape(name);
+        out += "\":{\"count\":";
+        out += std::to_string(h->count());
+        out += ",\"mean_ns\":";
+        out += fmtDouble(h->meanNs());
+        out += ",\"p50_ns\":";
+        out += fmtDouble(h->percentileNs(50));
+        out += ",\"p95_ns\":";
+        out += fmtDouble(h->percentileNs(95));
+        out += ",\"p99_ns\":";
+        out += fmtDouble(h->percentileNs(99));
+        out += ",\"max_ns\":";
+        out += fmtDouble(h->maxNs());
+        out += "}";
+    }
+    out += "},\"meters\":{";
+    first = true;
+    for (const auto& [name, m] : meters_) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += jsonEscape(name);
+        out += "\":{\"total\":";
+        out += std::to_string(m->total());
+        out += ",\"per_sec\":";
+        out += fmtDouble(m->perSecond());
+        out += "}";
+    }
+    out += "}}";
+    return out;
+}
+
+void MetricsRegistry::visitCounters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+    for (const auto& [name, c] : counters_) fn(name, *c);
+}
+
+void MetricsRegistry::visitHistograms(
+    const std::function<void(const std::string&, const LatencyHistogram&)>& fn) const {
+    for (const auto& [name, h] : histograms_) fn(name, *h);
+}
+
+}  // namespace pravega::obs

@@ -26,7 +26,21 @@ SegmentContainer::SegmentContainer(sim::Executor& exec, uint32_t containerId, wa
       cfg_(cfg),
       log_(std::make_unique<wal::LogClient>(walEnv, host, containerId, cfg.log)),
       readIndex_(cache),
-      systemTable_(systemTableIdFor(containerId)) {
+      systemTable_(systemTableIdFor(containerId)),
+      mOpsEnqueued_(exec.metrics().counter("store.ops.enqueued")),
+      mFramesClosed_(exec.metrics().counter("store.frames.closed")),
+      mThrottleCount_(exec.metrics().counter("store.throttle.count")),
+      mThrottleNs_(exec.metrics().counter("store.throttle.ns")),
+      mCacheHits_(exec.metrics().counter("store.cache.read_hits")),
+      mCacheMisses_(exec.metrics().counter("store.cache.read_misses")),
+      mCacheEvictions_(exec.metrics().counter("store.cache.evictions")),
+      mTailWaits_(exec.metrics().counter("store.read.tail_waits")),
+      mQueueDepth_(exec.metrics().gauge("store.op_queue.depth")),
+      mFrameBytes_(exec.metrics().histogram("store.frame.bytes")),
+      mFrameOps_(exec.metrics().histogram("store.frame.ops")),
+      mStoreQueueNs_(exec.metrics().histogram("trace.write.1_store_queue_ns")),
+      mWalCommitNs_(exec.metrics().histogram("trace.write.2_wal_commit_ns")) {
+    readIndex_.setEvictionCounter(&mCacheEvictions_);
     storageWriter_ = std::make_unique<StorageWriter>(exec, *this, lts, cfg.storage);
 }
 
@@ -138,6 +152,9 @@ void SegmentContainer::admit(std::function<void()> fn) {
         fn();
         return;
     }
+    // LTS-backpressure accounting: how long admission held this op back.
+    mThrottleCount_.inc();
+    mThrottleNs_.inc(static_cast<uint64_t>(at - exec_.now()));
     admitCursor_ = at;
     exec_.schedule(at - exec_.now(), std::move(fn));
 }
@@ -376,9 +393,13 @@ std::vector<std::pair<std::string, TableValue>> SegmentContainer::tableScan(
 // ------------------------------------------------------------ frame path
 
 void SegmentContainer::enqueueOp(Operation op, std::function<void(Result<int64_t>)> completion) {
+    if (openFrame_.ops.empty()) openFrame_.openedAt = exec_.now();
     openFrame_.bytes += op.serializedSize();
     openFrame_.ops.push_back(std::move(op));
     openFrame_.completions.push_back(std::move(completion));
+    mOpsEnqueued_.inc();
+    mQueueDepth_.set(static_cast<double>(openFrame_.ops.size()) +
+                     static_cast<double>(inFlightFrames_));
 
     if (openFrame_.bytes >= cfg_.maxFrameBytes) {
         closeFrame();
@@ -424,6 +445,10 @@ void SegmentContainer::closeFrame() {
     avgWriteSizeBytes_ = avgWriteSizeBytes_ * 0.8 + static_cast<double>(frameBytes) * 0.2;
 
     sim::TimePoint sentAt = exec_.now();
+    mFramesClosed_.inc();
+    mFrameBytes_.record(static_cast<sim::Duration>(frameBytes));
+    mFrameOps_.record(static_cast<sim::Duration>(frame.ops.size()));
+    mStoreQueueNs_.record(sentAt - frame.openedAt);
     ++inFlightFrames_;
     log_->append(SharedBuf(std::move(serialized)))
         .onComplete([this, ops = std::move(frame.ops), completions = std::move(frame.completions),
@@ -438,6 +463,7 @@ void SegmentContainer::closeFrame() {
             }
             double latency = static_cast<double>(exec_.now() - sentAt);
             recentWalLatencyNs_ = recentWalLatencyNs_ * 0.8 + latency * 0.2;
+            mWalCommitNs_.record(exec_.now() - sentAt);
             applyFrame(std::move(ops), std::move(completions), r.value().sequence);
         });
 }
@@ -713,6 +739,9 @@ void SegmentContainer::attemptRead(SegmentId id, int64_t offset, int64_t maxByte
         return;
     }
     if (auto* hit = std::get_if<ReadHit>(&outcome.value())) {
+        // depth > 0 means this hit only exists because an LTS fetch (or a
+        // tail wake-up) filled the index — don't double-count it as a hit.
+        if (depth == 0) mCacheHits_.inc();
         ReadResult res;
         res.data = std::move(hit->data);
         res.offset = offset;
@@ -732,6 +761,7 @@ void SegmentContainer::attemptRead(SegmentId id, int64_t offset, int64_t maxByte
         }
         // Register a tail waiter; retry when new data is applied (§4.2:
         // "return a future that will be completed when new data is added").
+        mTailWaits_.inc();
         TailWaiter waiter;
         waiter.offset = offset;
         auto wake = waiter.wake.future();
@@ -748,6 +778,7 @@ void SegmentContainer::attemptRead(SegmentId id, int64_t offset, int64_t maxByte
     }
 
     // Cache miss: fetch the gap from LTS, index it, retry (§4.2).
+    if (depth == 0) mCacheMisses_.inc();
     auto miss = std::get<ReadMiss>(outcome.value());
     if (depth > 8) {
         promise.setError(Err::IoError, "read did not converge");

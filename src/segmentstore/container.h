@@ -158,6 +158,7 @@ private:
         std::vector<Operation> ops;
         std::vector<std::function<void(Result<int64_t>)>> completions;
         uint64_t bytes = 0;
+        sim::TimePoint openedAt = 0;  // first op's enqueue time (trace stage)
     };
     struct TailWaiter {
         int64_t offset;
@@ -232,6 +233,21 @@ private:
     uint64_t appliedOps_ = 0;
     bool offline_ = true;  // start() brings the container online
     uint64_t cacheTimerEpoch_ = 0;
+
+    // World-aggregate container metrics (cached registry instruments).
+    obs::Counter& mOpsEnqueued_;
+    obs::Counter& mFramesClosed_;
+    obs::Counter& mThrottleCount_;
+    obs::Counter& mThrottleNs_;
+    obs::Counter& mCacheHits_;
+    obs::Counter& mCacheMisses_;
+    obs::Counter& mCacheEvictions_;
+    obs::Counter& mTailWaits_;
+    obs::Gauge& mQueueDepth_;
+    obs::LatencyHistogram& mFrameBytes_;
+    obs::LatencyHistogram& mFrameOps_;
+    obs::LatencyHistogram& mStoreQueueNs_;
+    obs::LatencyHistogram& mWalCommitNs_;
 };
 
 }  // namespace pravega::segmentstore

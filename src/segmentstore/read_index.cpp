@@ -198,6 +198,9 @@ int ReadIndex::applyCachePolicy() {
         idx.entries.erase(c.offset);
         ++evicted;
     }
+    if (evictionCounter_ != nullptr && evicted > 0) {
+        evictionCounter_->inc(static_cast<uint64_t>(evicted));
+    }
     return evicted;
 }
 

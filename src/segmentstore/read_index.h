@@ -14,6 +14,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "segmentstore/avl_map.h"
 #include "segmentstore/cache.h"
 #include "segmentstore/types.h"
@@ -81,6 +82,10 @@ public:
     /// target. Returns the number of entries evicted.
     int applyCachePolicy();
 
+    /// Optional registry counter bumped on every eviction (any trigger:
+    /// timer-driven policy runs and insert-time pressure evictions alike).
+    void setEvictionCounter(obs::Counter* c) { evictionCounter_ = c; }
+
     uint64_t indexedBytes() const { return indexedBytes_; }
     uint64_t entryCount() const;
 
@@ -102,6 +107,7 @@ private:
     std::map<SegmentId, SegmentIndex> segments_;
     uint64_t generation_ = 0;
     uint64_t indexedBytes_ = 0;
+    obs::Counter* evictionCounter_ = nullptr;
 };
 
 }  // namespace pravega::segmentstore

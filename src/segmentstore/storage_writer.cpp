@@ -33,7 +33,15 @@ Result<ChunkRecord> ChunkRecord::deserialize(BytesView data) {
 
 StorageWriter::StorageWriter(sim::Executor& exec, SegmentContainer& container,
                              lts::ChunkStorage& storage, StorageWriterConfig cfg)
-    : exec_(exec), container_(container), storage_(storage), cfg_(cfg) {}
+    : exec_(exec),
+      container_(container),
+      storage_(storage),
+      cfg_(cfg),
+      mFlushes_(exec.metrics().counter("store.writer.flushes")),
+      mFlushBytes_(exec.metrics().counter("store.writer.flush_bytes")),
+      mFlushFailures_(exec.metrics().counter("store.writer.flush_failures")),
+      mFlushNs_(exec.metrics().histogram("store.writer.flush_ns")),
+      mFlushBatchBytes_(exec.metrics().histogram("store.writer.flush_batch_bytes")) {}
 
 void StorageWriter::start() {
     if (running_) return;
@@ -166,6 +174,9 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
 
     state.flushing = true;
     ++activeFlushes_;
+    mFlushes_.inc();
+    mFlushBatchBytes_.record(static_cast<sim::Duration>(buffer.size()));
+    sim::TimePoint flushStart = exec_.now();
 
     // Build the per-chunk write plan, rolling chunks at maxChunkBytes.
     struct FlushPlan {
@@ -214,11 +225,12 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
     // with the futures instead of leaking the self-ownership cycle.
     *runPlan = [this, segment, plans,
                 weakPlan = std::weak_ptr<std::function<void(size_t)>>(runPlan),
-                finalLength, flushCount, flushBytes](size_t i) {
+                finalLength, flushCount, flushBytes, flushStart](size_t i) {
         auto runPlan = weakPlan.lock();
         if (!runPlan) return;
         auto& st = segments_[segment];
         if (i >= plans->size()) {
+            mFlushNs_.record(exec_.now() - flushStart);
             // Success: retire the flushed entries.
             for (size_t k = 0; k < flushCount && !st.pending.empty(); ++k) {
                 st.pending.pop_front();
@@ -257,11 +269,13 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
                         // and the durable-frontier trim keeps it idempotent.
                         PLOG_WARN(kLog, "LTS append failed (%s); will retry",
                                   r.status().toString().c_str());
+                        mFlushFailures_.inc();
                         st2.flushing = false;
                         --activeFlushes_;
                         return;
                     }
                     flushedBytes_ += n;
+                    mFlushBytes_.inc(n);
                     std::vector<TableUpdate> batch;
                     TableUpdate u;
                     u.key = (*plans)[i].key;

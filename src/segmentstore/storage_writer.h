@@ -13,6 +13,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "lts/chunk_storage.h"
+#include "obs/metrics.h"
 #include "segmentstore/types.h"
 #include "sim/executor.h"
 #include "sim/future.h"
@@ -111,6 +112,13 @@ private:
     int activeFlushes_ = 0;
     bool running_ = false;
     uint64_t timerEpoch_ = 0;
+
+    // World-aggregate storage-writer metrics.
+    obs::Counter& mFlushes_;
+    obs::Counter& mFlushBytes_;
+    obs::Counter& mFlushFailures_;
+    obs::LatencyHistogram& mFlushNs_;
+    obs::LatencyHistogram& mFlushBatchBytes_;
 };
 
 }  // namespace pravega::segmentstore

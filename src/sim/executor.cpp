@@ -3,7 +3,14 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace pravega::sim {
+
+Executor::Executor()
+    : metrics_(std::make_unique<obs::MetricsRegistry>([this] { return now_; })) {}
+
+Executor::~Executor() = default;
 
 void Executor::push(Duration delay, Task fn, bool weak) {
     assert(delay >= 0 && "cannot schedule into the past");

@@ -11,10 +11,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "sim/time.h"
+
+namespace pravega::obs {
+class MetricsRegistry;
+}
 
 namespace pravega::sim {
 
@@ -22,7 +27,18 @@ class Executor {
 public:
     using Task = std::function<void()>;
 
+    Executor();
+    ~Executor();
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
     TimePoint now() const { return now_; }
+
+    /// The world's metrics registry. One registry per executor: every
+    /// component of a simulated world records here, and its instruments are
+    /// driven by this executor's virtual clock (deterministic dumps).
+    obs::MetricsRegistry& metrics() { return *metrics_; }
+    const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
     /// Runs `fn` after `delay` (>= 0) of virtual time.
     void schedule(Duration delay, Task fn) { push(delay, std::move(fn), /*weak=*/false); }
@@ -71,6 +87,9 @@ private:
     uint64_t seq_ = 0;
     size_t regularPending_ = 0;
     std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    // unique_ptr + out-of-line ctor/dtor keep obs/metrics.h out of this
+    // header (obs depends on sim/time.h only; no include cycle).
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
 };
 
 }  // namespace pravega::sim

@@ -36,7 +36,15 @@ Future<Unit> QueuedResource::acquire(Duration work) {
     return p.future();
 }
 
-DiskModel::DiskModel(Executor& exec, Config cfg) : exec_(exec), cfg_(cfg) {}
+DiskModel::DiskModel(Executor& exec, Config cfg)
+    : exec_(exec),
+      cfg_(cfg),
+      mWrites_(exec.metrics().counter("sim.disk.writes")),
+      mBytes_(exec.metrics().counter("sim.disk.bytes")),
+      mFsyncs_(exec.metrics().counter("sim.disk.fsyncs")),
+      mBusyNs_(exec.metrics().counter("sim.disk.busy_ns")),
+      mWriteNs_(exec.metrics().histogram("sim.disk.write_ns")),
+      mQueueNs_(exec.metrics().histogram("sim.disk.queue_ns")) {}
 
 Future<Unit> DiskModel::write(uint64_t fileId, uint64_t bytes, bool fsync) {
     Duration work = cfg_.writeLatency + transferTime(bytes, cfg_.bytesPerSec);
@@ -48,23 +56,47 @@ Future<Unit> DiskModel::write(uint64_t fileId, uint64_t bytes, bool fsync) {
     TimePoint start = std::max(nextFree_, exec_.now());
     nextFree_ = start + work;
 
+    mWrites_.inc();
+    mBytes_.inc(bytes);
+    if (fsync) mFsyncs_.inc();
+    mBusyNs_.inc(static_cast<uint64_t>(work));  // busy_ns / elapsed = utilization
+    mQueueNs_.record(start - exec_.now());
+    mWriteNs_.record(nextFree_ - exec_.now());
+
     Promise<Unit> p;
     exec_.schedule(nextFree_ - exec_.now(), [p]() mutable { p.setValue(Unit{}); });
     return p.future();
 }
 
+Link::Link(Executor& exec, Config cfg, uint64_t faultSeed)
+    : exec_(exec),
+      cfg_(cfg),
+      faultRng_(faultSeed),
+      mMessages_(exec.metrics().counter("sim.net.messages")),
+      mBytes_(exec.metrics().counter("sim.net.bytes")),
+      mQueueNs_(exec.metrics().histogram("sim.net.queue_ns")) {}
+
+void Link::recordDrop(uint64_t DropCounts::*kind, const char* kindName) {
+    ++(drops_.*kind);
+    auto& m = exec_.metrics();
+    m.counter(std::string("net.drop.") + kindName).inc();
+    if (!label_.empty()) {
+        m.counter("net.link." + label_ + ".drop." + kindName).inc();
+    }
+}
+
 void Link::deliver(uint64_t bytes, Executor::Task fn) {
     if (partitioned_) {
-        ++droppedMessages_;
+        recordDrop(&DropCounts::partition, "partition");
         return;
     }
     if (dropNext_ > 0) {
         --dropNext_;
-        ++droppedMessages_;
+        recordDrop(&DropCounts::forced, "forced");
         return;
     }
     if (lossProbability_ > 0 && faultRng_.nextDouble() < lossProbability_) {
-        ++droppedMessages_;
+        recordDrop(&DropCounts::loss, "loss");
         return;
     }
     double bps = cfg_.bytesPerSec;
@@ -76,6 +108,9 @@ void Link::deliver(uint64_t bytes, Executor::Task fn) {
     TimePoint start = std::max(nextFree_, exec_.now());
     nextFree_ = start + transferTime(bytes, bps);
     bytesSent_ += bytes;
+    mMessages_.inc();
+    mBytes_.inc(bytes);
+    mQueueNs_.record(start - exec_.now());
     TimePoint arrive = nextFree_ + latency;
     exec_.schedule(arrive - exec_.now(), std::move(fn));
 }
@@ -96,7 +131,13 @@ void Link::clearFaults() {
 }
 
 ObjectStoreModel::ObjectStoreModel(Executor& exec, Config cfg)
-    : exec_(exec), cfg_(cfg), lanes_(exec, cfg.maxConcurrent) {}
+    : exec_(exec),
+      cfg_(cfg),
+      lanes_(exec, cfg.maxConcurrent),
+      mOps_(exec.metrics().counter("sim.lts.ops")),
+      mBytes_(exec.metrics().counter("sim.lts.bytes")),
+      mOpNs_(exec.metrics().histogram("sim.lts.op_ns")),
+      mBacklogSec_(exec.metrics().gauge("sim.lts.backlog_sec")) {}
 
 Future<Unit> ObjectStoreModel::transfer(uint64_t bytes) {
     bytesTransferred_ += bytes;
@@ -108,6 +149,10 @@ Future<Unit> ObjectStoreModel::transfer(uint64_t bytes) {
     aggCursor_ = aggStart + transferTime(bytes, cfg_.aggregateBytesPerSec);
 
     Duration laneWork = std::max(streamTime, aggCursor_ - exec_.now());
+    mOps_.inc();
+    mBytes_.inc(bytes);
+    mOpNs_.record(laneWork);
+    mBacklogSec_.set(backlogSeconds());
     return lanes_.acquire(laneWork);
 }
 

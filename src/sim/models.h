@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/executor.h"
 #include "sim/future.h"
 #include "sim/random.h"
@@ -72,6 +74,13 @@ private:
     TimePoint nextFree_ = 0;
     uint64_t lastFile_ = UINT64_MAX;
     uint64_t bytesWritten_ = 0;
+    // World-aggregate device metrics (all disks of one executor share them).
+    obs::Counter& mWrites_;
+    obs::Counter& mBytes_;
+    obs::Counter& mFsyncs_;
+    obs::Counter& mBusyNs_;
+    obs::LatencyHistogram& mWriteNs_;
+    obs::LatencyHistogram& mQueueNs_;
 };
 
 /// One direction of a network link: propagation latency plus serialization
@@ -91,8 +100,21 @@ public:
         double bytesPerSec = 1.25 * 1024 * 1024 * 1024;  // 10 Gbps
     };
 
-    Link(Executor& exec, Config cfg, uint64_t faultSeed = 0x11C4C11ULL)
-        : exec_(exec), cfg_(cfg), faultRng_(faultSeed) {}
+    /// Why a message was dropped, per fault kind. Chaos tests assert on
+    /// these to know WHICH fault ate the traffic (not just that one did).
+    struct DropCounts {
+        uint64_t partition = 0;  // hard partition
+        uint64_t forced = 0;     // dropNext() deterministic injection
+        uint64_t loss = 0;       // probabilistic loss
+        uint64_t total() const { return partition + forced + loss; }
+    };
+
+    Link(Executor& exec, Config cfg, uint64_t faultSeed = 0x11C4C11ULL);
+
+    /// Endpoint label ("<from>-><to>") for per-link registry counters;
+    /// set by Network when it creates the link.
+    void setLabel(std::string label) { label_ = std::move(label); }
+    const std::string& label() const { return label_; }
 
     /// Delivers `fn` on the far side after transfer of `bytes`.
     void deliver(uint64_t bytes, Executor::Task fn);
@@ -110,13 +132,17 @@ public:
     void clearFaults();
 
     uint64_t bytesSent() const { return bytesSent_; }
-    uint64_t droppedMessages() const { return droppedMessages_; }
+    uint64_t droppedMessages() const { return drops_.total(); }
+    const DropCounts& drops() const { return drops_; }
 
 private:
+    void recordDrop(uint64_t DropCounts::*kind, const char* kindName);
+
     Executor& exec_;
     Config cfg_;
     TimePoint nextFree_ = 0;
     uint64_t bytesSent_ = 0;
+    std::string label_;
 
     // Fault state.
     bool partitioned_ = false;
@@ -126,7 +152,12 @@ private:
     double degradeBandwidthFactor_ = 1.0;
     TimePoint degradeUntil_ = 0;
     Rng faultRng_;
-    uint64_t droppedMessages_ = 0;
+    DropCounts drops_;
+
+    // World-aggregate link metrics.
+    obs::Counter& mMessages_;
+    obs::Counter& mBytes_;
+    obs::LatencyHistogram& mQueueNs_;
 };
 
 /// A server CPU with `cores` parallel execution lanes. Request handling
@@ -188,6 +219,10 @@ private:
     QueuedResource lanes_;
     TimePoint aggCursor_ = 0;  // virtual finish line of the shared pipe
     uint64_t bytesTransferred_ = 0;
+    obs::Counter& mOps_;
+    obs::Counter& mBytes_;
+    obs::LatencyHistogram& mOpNs_;
+    obs::Gauge& mBacklogSec_;
 };
 
 }  // namespace pravega::sim

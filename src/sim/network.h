@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "common/hash.h"
@@ -37,6 +38,7 @@ public:
                 faultSeed_ ^ (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32 |
                               static_cast<uint32_t>(to)));
             it = links_.emplace(key, std::make_unique<Link>(exec_, cfg_, seed)).first;
+            it->second->setLabel(std::to_string(from) + "->" + std::to_string(to));
         }
         return *it->second;
     }
@@ -84,11 +86,47 @@ public:
         link(b, a).degrade(extraLatency, bandwidthFactor, duration);
     }
 
-    /// Messages dropped by faults across all links.
+    /// Messages dropped by faults across all links (every kind summed).
     uint64_t droppedMessages() const {
         uint64_t total = 0;
         for (const auto& [key, l] : links_) total += l->droppedMessages();
         return total;
+    }
+
+    /// Network-wide drops broken down by fault kind.
+    Link::DropCounts droppedByKind() const {
+        Link::DropCounts sum;
+        for (const auto& [key, l] : links_) {
+            const Link::DropCounts& d = l->drops();
+            sum.partition += d.partition;
+            sum.forced += d.forced;
+            sum.loss += d.loss;
+        }
+        return sum;
+    }
+
+    /// Drops on both directions of the (a, b) host pair, by fault kind —
+    /// lets a chaos test assert WHICH partition ate the traffic.
+    Link::DropCounts droppedBetween(HostId a, HostId b) const {
+        Link::DropCounts sum;
+        for (auto key : {std::make_pair(a, b), std::make_pair(b, a)}) {
+            auto it = links_.find(key);
+            if (it == links_.end()) continue;
+            const Link::DropCounts& d = it->second->drops();
+            sum.partition += d.partition;
+            sum.forced += d.forced;
+            sum.loss += d.loss;
+        }
+        return sum;
+    }
+
+    /// Per-directed-link breakdown for every link that dropped anything.
+    std::map<std::pair<HostId, HostId>, Link::DropCounts> droppedByLink() const {
+        std::map<std::pair<HostId, HostId>, Link::DropCounts> out;
+        for (const auto& [key, l] : links_) {
+            if (l->droppedMessages() > 0) out.emplace(key, l->drops());
+        }
+        return out;
     }
 
     const Link::Config& config() const { return cfg_; }

@@ -12,10 +12,21 @@ Bookie::Bookie(sim::Executor& exec, sim::HostId host, sim::DiskModel& journalDri
       host_(host),
       journal_(journalDrive),
       cfg_(cfg),
-      journalFileId_(mix64(0xB00C1E00ULL + static_cast<uint64_t>(host))) {}
+      journalFileId_(mix64(0xB00C1E00ULL + static_cast<uint64_t>(host))),
+      mAdds_(exec.metrics().counter("wal.bookie.adds")),
+      mAddBytes_(exec.metrics().counter("wal.bookie.add_bytes")),
+      mRejectUnavailable_(exec.metrics().counter("wal.bookie.reject.unavailable")),
+      mRejectFenced_(exec.metrics().counter("wal.bookie.reject.fenced")),
+      mCrashes_(exec.metrics().counter("wal.bookie.crashes")),
+      mRestarts_(exec.metrics().counter("wal.bookie.restarts")),
+      mFlushes_(exec.metrics().counter("wal.bookie.journal.flushes")),
+      mGroupBytes_(exec.metrics().histogram("wal.bookie.journal.group_bytes")),
+      mGroupEntries_(exec.metrics().histogram("wal.bookie.journal.group_entries")),
+      mSyncNs_(exec.metrics().histogram("trace.write.3_journal_sync_ns")) {}
 
 sim::Future<sim::Unit> Bookie::addEntry(LedgerId ledger, EntryId entry, SharedBuf data) {
     if (!alive_) {
+        mRejectUnavailable_.inc();
         return sim::Future<sim::Unit>::failed(Status(Err::Unavailable, "bookie crashed"));
     }
     if (deleted_.contains(ledger)) {
@@ -23,8 +34,11 @@ sim::Future<sim::Unit> Bookie::addEntry(LedgerId ledger, EntryId entry, SharedBu
     }
     auto& state = ledgers_[ledger];
     if (state.fenced) {
+        mRejectFenced_.inc();
         return sim::Future<sim::Unit>::failed(Status(Err::Fenced, "ledger fenced"));
     }
+    mAdds_.inc();
+    mAddBytes_.inc(data.size());
     storedBytes_ += data.size();
     state.entries[entry] = data;
 
@@ -60,12 +74,17 @@ void Bookie::maybeStartFlush() {
         static_cast<double>(inFlightAcks_.size()) *
         static_cast<double>(cfg_.perEntryLatency) / 1e9 * journal_.config().bytesPerSec);
 
+    mFlushes_.inc();
+    mGroupBytes_.record(static_cast<sim::Duration>(bytes));
+    mGroupEntries_.record(static_cast<sim::Duration>(inFlightAcks_.size()));
+    sim::TimePoint flushStart = exec_.now();
     journal_.write(journalFileId_, bytes + entryCost, cfg_.journalSync)
-        .onComplete([this, epoch = epoch_,
+        .onComplete([this, epoch = epoch_, flushStart,
                      records = std::move(records)](const Result<sim::Unit>&) mutable {
             // Crashed mid-flush: the group is lost; crash() already failed
             // the acks, and this completion belongs to a dead epoch.
             if (epoch != epoch_) return;
+            mSyncNs_.record(exec_.now() - flushStart);
             for (auto& rec : records) journalRecords_.push_back(std::move(rec));
             auto acks = std::move(inFlightAcks_);
             inFlightAcks_.clear();
@@ -118,6 +137,7 @@ void Bookie::crash() {
     if (!alive_) return;
     alive_ = false;
     ++crashCount_;
+    mCrashes_.inc();
     ++epoch_;  // invalidates the in-flight flush completion, if any
     flushInFlight_ = false;
     // Queued and mid-flush adds never reach the journal; their clients see
@@ -141,6 +161,7 @@ void Bookie::crash() {
 void Bookie::restart() {
     if (alive_) return;
     alive_ = true;
+    mRestarts_.inc();
     rebuildFromJournal();
     PLOG_INFO("bookie", "host %d restarted: %llu entries recovered", host_,
               static_cast<unsigned long long>(journalRecords_.size()));

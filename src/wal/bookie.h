@@ -128,6 +128,18 @@ private:
     /// Bumped on crash so stale flush-completion callbacks are discarded.
     uint64_t epoch_ = 0;
     uint64_t crashCount_ = 0;
+
+    // World-aggregate bookie metrics (all bookies share the named series).
+    obs::Counter& mAdds_;
+    obs::Counter& mAddBytes_;
+    obs::Counter& mRejectUnavailable_;
+    obs::Counter& mRejectFenced_;
+    obs::Counter& mCrashes_;
+    obs::Counter& mRestarts_;
+    obs::Counter& mFlushes_;
+    obs::LatencyHistogram& mGroupBytes_;
+    obs::LatencyHistogram& mGroupEntries_;
+    obs::LatencyHistogram& mSyncNs_;
 };
 
 }  // namespace pravega::wal

@@ -148,6 +148,7 @@ void LedgerHandle::handleBookieFailure(Bookie* bad) {
     auto* info = registry_.find(id_);
     if (replacement) {
         ++ensembleChanges_;
+        exec_.metrics().counter("wal.ensemble_changes").inc();
         std::replace(ensemble_.begin(), ensemble_.end(), bad, replacement);
         if (info) {
             std::replace(info->ensemble.begin(), info->ensemble.end(), bad, replacement);

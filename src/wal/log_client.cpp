@@ -79,6 +79,9 @@ sim::Future<LogAddress> LogClient::append(SharedBuf data) {
     if (current_->appendedBytes() >= cfg_.rolloverBytes) rollover();
 
     int64_t seq = nextSequence_++;
+    auto& m = env_.exec.metrics();
+    m.counter("wal.log.appends").inc();
+    m.counter("wal.log.append_bytes").inc(data.size());
     LedgerId ledger = current_->id();
     sim::Promise<LogAddress> promise;
     auto fut = promise.future();

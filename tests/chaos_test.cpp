@@ -17,6 +17,7 @@
 #include "client/event_reader.h"
 #include "cluster/chaos.h"
 #include "cluster/pravega_cluster.h"
+#include "obs/metrics.h"
 
 namespace pravega {
 namespace {
@@ -168,7 +169,7 @@ TEST(ChaosTest, SeededFaultSchedulesKeepInvariants) {
 }
 
 TEST(ChaosTest, SameSeedReproducesIdenticalTimelineAndFinalState) {
-    auto run = [](TrafficResult& t, std::vector<std::string>& log) {
+    auto run = [](TrafficResult& t, std::vector<std::string>& log, std::string& metrics) {
         PravegaCluster cluster(chaosClusterConfig());
         ChaosSchedule::Config ccfg;
         ccfg.seed = 42;
@@ -177,16 +178,22 @@ TEST(ChaosTest, SameSeedReproducesIdenticalTimelineAndFinalState) {
         ChaosSchedule schedule(cluster, ccfg);
         runChaosWorkload(cluster, schedule, t);
         log = schedule.executedLog();
+        metrics = cluster.executor().metrics().dump();
     };
     TrafficResult a, b;
     std::vector<std::string> logA, logB;
-    run(a, logA);
-    run(b, logB);
+    std::string metricsA, metricsB;
+    run(a, logA, metricsA);
+    run(b, logB, metricsB);
 
     // The determinism contract: identical fault log (timestamps included)
-    // and identical final state, event for event.
+    // and identical final state, event for event — and a byte-identical
+    // obs:: metric dump (the observability layer records on virtual time
+    // only, so it must not perturb or diverge across same-seed runs).
     ASSERT_FALSE(logA.empty());
     EXPECT_EQ(logA, logB);
+    ASSERT_FALSE(metricsA.empty());
+    EXPECT_EQ(metricsA, metricsB);
     EXPECT_EQ(a.sent, b.sent);
     EXPECT_EQ(a.acked, b.acked);
     EXPECT_EQ(a.ackedEvents, b.ackedEvents);

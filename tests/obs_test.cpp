@@ -1,0 +1,313 @@
+// Tests for the virtual-time observability layer (src/obs/): histogram
+// percentile accuracy against exact quantiles, windowed-rate meters under
+// virtual time, the determinism contract (same seed => byte-identical
+// dumps), and white-box chaos assertions on WAL ensemble-change and
+// per-link network-drop counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/pravega_cluster.h"
+#include "obs/metrics.h"
+#include "sim/executor.h"
+#include "sim/network.h"
+#include "sim/random.h"
+
+namespace pravega {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::PravegaCluster;
+using controller::StreamConfig;
+
+// ---------------------------------------------------------------- histogram
+
+TEST(ObsHistogramTest, PercentilesTrackExactQuantilesWithinBucketError) {
+    // Log-uniform samples over 1us..1s: percentiles span many octaves, so
+    // any bucket-boundary bug shows up as a large relative error.
+    obs::LatencyHistogram hist;
+    sim::Rng rng(7);
+    std::vector<sim::Duration> samples;
+    for (int i = 0; i < 20'000; ++i) {
+        double logSpan = std::log(1e9) - std::log(1e3);
+        double v = std::exp(std::log(1e3) + rng.nextDouble() * logSpan);
+        auto d = static_cast<sim::Duration>(v);
+        samples.push_back(d);
+        hist.record(d);
+    }
+    std::sort(samples.begin(), samples.end());
+    ASSERT_EQ(hist.count(), samples.size());
+
+    for (double p : {10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+        size_t rank = static_cast<size_t>(p / 100.0 * (samples.size() - 1));
+        double exact = static_cast<double>(samples[rank]);
+        double approx = hist.percentileNs(p);
+        // The histogram reports the containing bucket's upper bound, so the
+        // estimate sits within one bucket step (12.5%) above the true value.
+        EXPECT_GE(approx, exact * (1.0 - 1e-9)) << "p" << p;
+        EXPECT_LE(approx, exact * (1.0 + obs::LatencyHistogram::kBucketRelativeError) + 1.0)
+            << "p" << p;
+    }
+    EXPECT_NEAR(hist.percentileMs(50), hist.percentileNs(50) / 1e6, 1e-12);
+}
+
+TEST(ObsHistogramTest, MeanMaxCountAndReset) {
+    obs::LatencyHistogram hist;
+    hist.record(sim::msec(1));
+    hist.record(sim::msec(3));
+    EXPECT_EQ(hist.count(), 2u);
+    EXPECT_DOUBLE_EQ(hist.meanMs(), 2.0);
+    EXPECT_DOUBLE_EQ(hist.maxMs(), 3.0);
+    hist.reset();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.percentileMs(99), 0.0);
+}
+
+// ---------------------------------------------------------------- rate meter
+
+TEST(ObsRateMeterTest, RateFollowsVirtualTimeAndDecays) {
+    sim::Executor exec;
+    auto& meter = exec.metrics().meter("test.rate", sim::kSecond);
+
+    // 1000 marks in the first 500ms of virtual time.
+    for (int i = 0; i < 10; ++i) {
+        exec.schedule(sim::msec(static_cast<int64_t>(i * 50)),
+                      [&meter]() { meter.mark(100); });
+    }
+    exec.runFor(sim::msec(500));
+    EXPECT_EQ(meter.total(), 1000u);
+    // Elapsed < window: the denominator is time-since-creation (0.5s).
+    EXPECT_NEAR(meter.perSecond(), 2000.0, 2000.0 * 0.25);
+
+    // A quiet meter decays to zero once the window slides past the marks.
+    exec.runFor(sim::sec(3));
+    EXPECT_DOUBLE_EQ(meter.perSecond(), 0.0);
+    EXPECT_EQ(meter.total(), 1000u);  // totals never decay
+
+    // New marks dominate the trailing window again.
+    meter.mark(300);
+    exec.runFor(sim::msec(100));
+    EXPECT_GT(meter.perSecond(), 0.0);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(ObsRegistryTest, FindOrCreateReturnsStableRefsAndDumpIsSorted) {
+    sim::Executor exec;
+    auto& reg = exec.metrics();
+    obs::Counter& c1 = reg.counter("z.last");
+    reg.counter("a.first").inc(5);
+    c1.inc(2);
+    EXPECT_EQ(&c1, &reg.counter("z.last"));  // stable reference
+    EXPECT_EQ(reg.counterValue("a.first"), 5u);
+    EXPECT_EQ(reg.counterValue("never.created"), 0u);
+    EXPECT_EQ(reg.findCounter("never.created"), nullptr);
+
+    std::string dump = reg.dump();
+    size_t posA = dump.find("a.first");
+    size_t posZ = dump.find("z.last");
+    ASSERT_NE(posA, std::string::npos);
+    ASSERT_NE(posZ, std::string::npos);
+    EXPECT_LT(posA, posZ);  // sorted by name
+}
+
+// -------------------------------------------------------------- determinism
+
+/// A small but non-trivial workload: writes keyed events through a full
+/// cluster, reads them back, and returns the world's metric dump.
+std::string runSeededWorkload(uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.ltsKind = cluster::LtsKind::InMemory;
+    PravegaCluster cluster(cfg);
+    StreamConfig scfg;
+    scfg.initialSegments = 2;
+    EXPECT_TRUE(cluster.createStream("sc", "st", scfg).isOk());
+    auto writer = cluster.makeWriter("sc/st");
+    sim::Rng rng(seed);
+    int acked = 0;
+    for (int i = 0; i < 400; ++i) {
+        std::string key = "k" + std::to_string(rng.nextBounded(16));
+        std::string payload = key + "#" + std::to_string(i);
+        writer->writeEvent(key, toBytes(payload), [&acked](Status s) {
+            if (s.isOk()) ++acked;
+        });
+        if (i % 50 == 49) {
+            writer->flush();
+            cluster.runFor(sim::msec(5));
+        }
+    }
+    writer->flush();
+    cluster.runUntilIdle();
+    EXPECT_EQ(acked, 400);
+    return cluster.executor().metrics().dump();
+}
+
+TEST(ObsDeterminismTest, SameSeedProducesByteIdenticalMetricDump) {
+    std::string a = runSeededWorkload(42);
+    std::string b = runSeededWorkload(42);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+
+    // The dump must actually carry the instrumented pipeline: client,
+    // store, WAL, and the write-path trace stages.
+    for (const char* expected :
+         {"client.writer.events", "store.frames.closed", "wal.bookie.adds",
+          "trace.write.0_client_batch_wait_ns", "trace.write.1_store_queue_ns",
+          "trace.write.2_wal_commit_ns", "trace.write.3_journal_sync_ns"}) {
+        EXPECT_NE(a.find(expected), std::string::npos) << expected;
+    }
+}
+
+TEST(ObsDeterminismTest, DifferentSeedsDivergeSomewhere) {
+    // Sanity check that the dump is sensitive to the workload at all (keys
+    // differ => batching and framing differ).
+    std::string a = runSeededWorkload(1);
+    std::string b = runSeededWorkload(2);
+    EXPECT_NE(a, b);
+}
+
+// -------------------------------------------------------- chaos counters
+
+TEST(ObsChaosTest, BookieCrashSurfacesEnsembleChangeCounter) {
+    ClusterConfig cfg;
+    cfg.ltsKind = cluster::LtsKind::InMemory;
+    cfg.bookies = 5;
+    cfg.store.container.log.repl.ensembleSize = 3;
+    cfg.store.container.log.repl.writeTimeout = sim::msec(100);
+    PravegaCluster cluster(cfg);
+    StreamConfig scfg;
+    scfg.initialSegments = 2;
+    ASSERT_TRUE(cluster.createStream("sc", "st", scfg).isOk());
+    auto writer = cluster.makeWriter("sc/st");
+
+    int sent = 0, acked = 0;
+    auto burst = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            std::string ev = "k" + std::to_string(sent % 4) + "#" + std::to_string(sent);
+            ++sent;
+            writer->writeEvent("k" + std::to_string(sent % 4), toBytes(ev),
+                               [&acked](Status s) {
+                                   if (s.isOk()) ++acked;
+                               });
+        }
+        writer->flush();
+    };
+    burst(100);
+    cluster.runUntilIdle();
+    ASSERT_EQ(acked, sent);
+
+    auto& reg = cluster.executor().metrics();
+    EXPECT_EQ(reg.counterValue("wal.ensemble_changes"), 0u);
+    EXPECT_EQ(reg.counterValue("wal.bookie.crashes"), 0u);
+
+    // Crash the busiest bookie mid-traffic: appends continue via ensemble
+    // change, and the registry shows exactly what happened.
+    auto bookies = cluster.bookies();
+    size_t victim = 0;
+    for (size_t i = 1; i < bookies.size(); ++i) {
+        if (bookies[i]->storedBytes() > bookies[victim]->storedBytes()) victim = i;
+    }
+    burst(50);
+    ASSERT_TRUE(cluster.crashBookie(victim).isOk());
+    burst(100);
+    cluster.runUntilIdle();
+    EXPECT_EQ(acked, sent);
+
+    EXPECT_EQ(reg.counterValue("wal.bookie.crashes"), 1u);
+    EXPECT_GE(reg.counterValue("wal.ensemble_changes"), 1u);
+    // The registry counter and the per-log counters agree.
+    uint64_t changes = 0;
+    for (auto* store : cluster.stores()) {
+        for (uint32_t cid : store->containerIds()) {
+            if (auto* c = store->container(cid)) changes += c->walLog().ensembleChanges();
+        }
+    }
+    EXPECT_EQ(reg.counterValue("wal.ensemble_changes"), changes);
+    // Unavailability rejections while the bookie was down are attributed.
+    EXPECT_GE(reg.counterValue("wal.bookie.reject.unavailable"), 1u);
+}
+
+TEST(ObsChaosTest, PartitionDropsAreAttributedPerLinkAndPerKind) {
+    ClusterConfig cfg;
+    cfg.ltsKind = cluster::LtsKind::InMemory;
+    cfg.bookies = 5;
+    cfg.store.container.log.repl.ensembleSize = 3;
+    cfg.store.container.log.repl.writeTimeout = sim::msec(100);
+    PravegaCluster cluster(cfg);
+    StreamConfig scfg;
+    scfg.initialSegments = 2;
+    ASSERT_TRUE(cluster.createStream("sc", "st", scfg).isOk());
+    auto writer = cluster.makeWriter("sc/st");
+
+    int sent = 0, acked = 0;
+    auto burst = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            std::string ev = "k#" + std::to_string(sent++);
+            writer->writeEvent("k", toBytes(ev), [&acked](Status s) {
+                if (s.isOk()) ++acked;
+            });
+        }
+        writer->flush();
+    };
+    burst(50);
+    cluster.runUntilIdle();
+    ASSERT_EQ(acked, sent);
+
+    // Blackhole the busiest bookie (guaranteed to sit in an active
+    // ensemble) from every segment store while traffic flows.
+    auto bookies = cluster.bookies();
+    size_t victim = 0;
+    for (size_t i = 1; i < bookies.size(); ++i) {
+        if (bookies[i]->storedBytes() > bookies[victim]->storedBytes()) victim = i;
+    }
+    sim::HostId bookie = cluster.bookieHost(victim);
+    std::vector<sim::HostId> storeHosts;
+    for (size_t s = 0; s < cluster.stores().size(); ++s) {
+        storeHosts.push_back(cluster.storeHost(s));
+        cluster.network().partition(storeHosts.back(), bookie);
+    }
+    burst(150);
+    cluster.runFor(sim::sec(1));
+    cluster.network().healAll();
+    cluster.runUntilIdle();
+    EXPECT_EQ(acked, sent);
+
+    // The pair-level view says WHICH partitions ate the traffic...
+    sim::Link::DropCounts between;
+    uint64_t perLink = 0;
+    auto& reg = cluster.executor().metrics();
+    for (sim::HostId store : storeHosts) {
+        sim::Link::DropCounts d = cluster.network().droppedBetween(store, bookie);
+        between.partition += d.partition;
+        between.forced += d.forced;
+        between.loss += d.loss;
+        perLink += reg.counterValue("net.link." + std::to_string(store) + "->" +
+                                    std::to_string(bookie) + ".drop.partition") +
+                   reg.counterValue("net.link." + std::to_string(bookie) + "->" +
+                                    std::to_string(store) + ".drop.partition");
+    }
+    ASSERT_GT(between.partition, 0u);
+    EXPECT_EQ(between.forced, 0u);
+    EXPECT_EQ(between.loss, 0u);
+    // ...the network-wide kind breakdown agrees...
+    sim::Link::DropCounts byKind = cluster.network().droppedByKind();
+    EXPECT_EQ(byKind.partition, between.partition);  // only these partitions existed
+    EXPECT_EQ(cluster.network().droppedMessages(), byKind.partition);
+    // ...and the registry exposes both the aggregate and the per-link lines.
+    EXPECT_EQ(reg.counterValue("net.drop.partition"), byKind.partition);
+    EXPECT_EQ(perLink, between.partition);
+    // The per-link map only lists links that actually dropped something.
+    auto byLink = cluster.network().droppedByLink();
+    uint64_t mapped = 0;
+    for (const auto& [key, d] : byLink) {
+        EXPECT_GT(d.total(), 0u);
+        mapped += d.partition;
+    }
+    EXPECT_EQ(mapped, between.partition);
+}
+
+}  // namespace
+}  // namespace pravega
