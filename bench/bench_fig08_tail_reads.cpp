@@ -77,6 +77,11 @@ void sweepPulsar(Report& report, const char* name, int partitions) {
 int main() {
     Report report("fig08_tail_reads", "Figure 8: tail-read end-to-end latency/throughput");
 
+    report.note("pravega rows capture the full metrics registry, including the "
+                "storage read pipeline (store.read.coalesced, store.prefetch.*): "
+                "for pure tail reads these should stay ~0 — readers never fall "
+                "behind the cache, so no LTS fetches or readahead fire");
+
     report.section("Figure 8a: tail reads, 1 segment/partition, 100B events",
                    "achieved/MB/s/latency columns describe the CONSUMER side");
     sweepPravega(report, "pravega/1seg", 1);

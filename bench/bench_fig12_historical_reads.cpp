@@ -23,6 +23,11 @@ uint64_t backlogBytes() {
 }
 int maxSeconds() { return smoke() ? 8 : 60; }
 
+/// Single-reader catch-up backlog (smaller: one reader drains it alone).
+uint64_t singleBacklogBytes() {
+    return smoke() ? 32ULL * 1024 * 1024 : 256ULL * 1024 * 1024;
+}
+
 /// Drives writers at the fixed rate until `until` (virtual time).
 template <typename World>
 void driveWriters(World& world, sim::Rng& rng, sim::TimePoint until) {
@@ -39,85 +44,151 @@ void driveWriters(World& world, sim::Rng& rng, sim::TimePoint until) {
         world.exec().runFor(sim::msec(1));
     }
 }
+/// Full Pravega catch-up run (16 readers against a live write load), with
+/// the storage read pipeline's readahead switched on or off — the Fig 12
+/// ablation: one flag, same seed, same offered load.
+void runPravega(Report& report, bool readahead) {
+    std::string label = std::string("pravega[readahead=") + (readahead ? "on" : "off") + "]";
+    PravegaOptions opt;
+    opt.segments = kSegments;
+    opt.numWriters = 4;
+    opt.tweak = [readahead](cluster::ClusterConfig& cfg) {
+        cfg.store.container.storage.flushSizeBytes = 4 * 1024 * 1024;
+        cfg.store.container.storage.flushTimeout = sim::msec(500);
+        // Paper: the 100 GB backlog dwarfs the cache, so catch-up reads
+        // come from LTS. Scale the cache below our 3 GB backlog too.
+        cfg.store.cache.maxBuffers = 96;  // 192 MB per store
+        cfg.store.container.readPipeline.readahead = readahead;
+    };
+    auto world = makePravega(opt);
+    sim::Rng rng(7);
+
+    // Build the backlog (no readers yet).
+    sim::Duration buildTime =
+        sim::sec(static_cast<double>(backlogBytes()) / (kWriteMBps * 1024 * 1024));
+    driveWriters(*world, rng, world->exec().now() + buildTime);
+    world->exec().runFor(sim::sec(2));  // let tiering drain
+
+    // Release readers at the head; writers continue.
+    client::ReaderConfig rcfg;
+    rcfg.fetchBytes = 4 * 1024 * 1024;  // catch-up readers fetch big
+    auto group = world->cluster->makeReaderGroup("catchup", {"bench/stream"}, rcfg);
+    std::vector<std::unique_ptr<client::EventReader>> readers;
+    for (int i = 0; i < kSegments; ++i) {
+        readers.push_back(group.value()->createReader("r" + std::to_string(i),
+                                                      world->cluster->newClientHost()));
+    }
+    struct Drain {
+        uint64_t bytes = 0;
+    };
+    auto drain = std::make_shared<Drain>();
+    auto alive = world->alive;
+    std::function<void(client::EventReader*)> pump = [&, drain, alive](client::EventReader* r) {
+        r->readNextEvent().onComplete([&, drain, alive, r](const Result<client::EventRead>& res) {
+            if (!*alive || !res.isOk()) return;
+            drain->bytes += res.value().payload.size();
+            pump(r);
+        });
+    };
+    world->exec().runFor(sim::sec(1));
+    for (auto& r : readers) pump(r.get());
+
+    report.section(label + ": time series (1s buckets)");
+    uint64_t lastDrain = 0;
+    uint64_t written = backlogBytes();
+    double peakRead = 0;
+    for (int t = 0; t < maxSeconds(); ++t) {
+        driveWriters(*world, rng, world->exec().now() + sim::sec(1));
+        written += static_cast<uint64_t>(kWriteMBps * 1024 * 1024);
+        double readMBps = static_cast<double>(drain->bytes - lastDrain) / (1024 * 1024);
+        peakRead = std::max(peakRead, readMBps);
+        lastDrain = drain->bytes;
+        double backlogMB = (static_cast<double>(written) - static_cast<double>(drain->bytes)) /
+                           (1024 * 1024);
+        report.addCustom(label, {{"t_sec", static_cast<double>(t)},
+                                 {"readahead", readahead ? 1.0 : 0.0},
+                                 {"write_mbps", kWriteMBps},
+                                 {"read_mbps", readMBps},
+                                 {"backlog_mb", backlogMB}});
+        if (backlogMB < 50) {
+            report.note(label + ": CAUGHT UP at t=" + std::to_string(t) + " s");
+            break;
+        }
+    }
+    // The summary row captures the whole metrics registry, including
+    // store.read.coalesced and store.prefetch.* from the read pipeline.
+    report.addCustom(label + "-summary",
+                     {{"peak_read_mbps", peakRead}, {"readahead", readahead ? 1.0 : 0.0}},
+                     &world->exec().metrics());
+}
+
+/// A single reader draining a cold backlog with no concurrent writers: the
+/// cleanest view of what readahead buys one catch-up reader (the §5.7
+/// pipelining claim, isolated from reader-group parallelism).
+void runSingleReaderCatchup(Report& report, bool readahead) {
+    std::string label =
+        std::string("pravega-single[readahead=") + (readahead ? "on" : "off") + "]";
+    PravegaOptions opt;
+    opt.segments = 1;
+    opt.numWriters = 1;
+    opt.tweak = [readahead](cluster::ClusterConfig& cfg) {
+        cfg.store.container.storage.flushSizeBytes = 4 * 1024 * 1024;
+        cfg.store.container.storage.flushTimeout = sim::msec(500);
+        cfg.store.cache.maxBuffers = 8;  // 16 MB: backlog reads must hit LTS
+        cfg.store.container.readPipeline.readahead = readahead;
+    };
+    auto world = makePravega(opt);
+    sim::Rng rng(11);
+
+    sim::Duration buildTime =
+        sim::sec(static_cast<double>(singleBacklogBytes()) / (kWriteMBps * 1024 * 1024));
+    driveWriters(*world, rng, world->exec().now() + buildTime);
+    world->exec().runFor(sim::sec(5));  // tiering fully drains, cache cools
+
+    client::ReaderConfig rcfg;
+    rcfg.fetchBytes = 4 * 1024 * 1024;
+    auto group = world->cluster->makeReaderGroup("single", {"bench/stream"}, rcfg);
+    auto reader = group.value()->createReader("r0", world->cluster->newClientHost());
+
+    auto drained = std::make_shared<uint64_t>(0);
+    auto alive = world->alive;
+    std::function<void()> pump = [&, drained, alive]() {
+        reader->readNextEvent().onComplete([&, drained,
+                                            alive](const Result<client::EventRead>& res) {
+            if (!*alive || !res.isOk()) return;
+            *drained += res.value().payload.size();
+            pump();
+        });
+    };
+    sim::TimePoint start = world->exec().now();
+    pump();
+    // Fine-grained ticks so elapsed time resolves the ablation difference.
+    uint64_t target = singleBacklogBytes() * 95 / 100;
+    int guard = maxSeconds() * 4 * 100;
+    while (*drained < target && guard-- > 0) world->exec().runFor(sim::msec(10));
+    double elapsed = static_cast<double>(world->exec().now() - start) / 1e9;
+    double mbps = elapsed > 0 ? static_cast<double>(*drained) / (1024 * 1024) / elapsed : 0;
+    report.addCustom(label,
+                     {{"readahead", readahead ? 1.0 : 0.0},
+                      {"drained_mb", static_cast<double>(*drained) / (1024 * 1024)},
+                      {"elapsed_sec", elapsed},
+                      {"catchup_mbps", mbps}},
+                     &world->exec().metrics());
+}
 }  // namespace
 
 int main() {
     Report report("fig12_historical_reads", "Figure 12: historical (catch-up) reads");
     report.note("backlog " + std::to_string(backlogBytes() / (1024 * 1024)) +
                 " MB, write rate 100 MB/s, time series in 1s buckets");
+    report.note("readahead on/off rows are the storage-read-pipeline ablation (one flag)");
 
-    // ---------------- Pravega ----------------
-    {
-        PravegaOptions opt;
-        opt.segments = kSegments;
-        opt.numWriters = 4;
-        opt.tweak = [](cluster::ClusterConfig& cfg) {
-            cfg.store.container.storage.flushSizeBytes = 4 * 1024 * 1024;
-            cfg.store.container.storage.flushTimeout = sim::msec(500);
-            // Paper: the 100 GB backlog dwarfs the cache, so catch-up reads
-            // come from LTS. Scale the cache below our 3 GB backlog too.
-            cfg.store.cache.maxBuffers = 96;  // 192 MB per store
-        };
-        auto world = makePravega(opt);
-        sim::Rng rng(7);
+    runPravega(report, /*readahead=*/true);
+    runPravega(report, /*readahead=*/false);
 
-        // Build the backlog (no readers yet).
-        sim::Duration buildTime =
-            sim::sec(static_cast<double>(backlogBytes()) / (kWriteMBps * 1024 * 1024));
-        driveWriters(*world, rng, world->exec().now() + buildTime);
-        world->exec().runFor(sim::sec(2));  // let tiering drain
-
-        // Release readers at the head; writers continue.
-        client::ReaderConfig rcfg;
-        rcfg.fetchBytes = 4 * 1024 * 1024;  // catch-up readers fetch big
-        auto group = world->cluster->makeReaderGroup("catchup", {"bench/stream"}, rcfg);
-        std::vector<std::unique_ptr<client::EventReader>> readers;
-        for (int i = 0; i < kSegments; ++i) {
-            readers.push_back(group.value()->createReader("r" + std::to_string(i),
-                                                          world->cluster->newClientHost()));
-        }
-        struct Drain {
-            uint64_t bytes = 0;
-        };
-        auto drain = std::make_shared<Drain>();
-        auto alive = world->alive;
-        std::function<void(client::EventReader*)> pump = [&, drain,
-                                                          alive](client::EventReader* r) {
-            r->readNextEvent().onComplete([&, drain, alive,
-                                           r](const Result<client::EventRead>& res) {
-                if (!*alive || !res.isOk()) return;
-                drain->bytes += res.value().payload.size();
-                pump(r);
-            });
-        };
-        world->exec().runFor(sim::sec(1));
-        for (auto& r : readers) pump(r.get());
-
-        report.section("pravega: time series (1s buckets)");
-        uint64_t lastDrain = 0;
-        uint64_t written = backlogBytes();
-        double peakRead = 0;
-        for (int t = 0; t < maxSeconds(); ++t) {
-            driveWriters(*world, rng, world->exec().now() + sim::sec(1));
-            written += static_cast<uint64_t>(kWriteMBps * 1024 * 1024);
-            double readMBps = static_cast<double>(drain->bytes - lastDrain) / (1024 * 1024);
-            peakRead = std::max(peakRead, readMBps);
-            lastDrain = drain->bytes;
-            double backlogMB =
-                (static_cast<double>(written) - static_cast<double>(drain->bytes)) /
-                (1024 * 1024);
-            report.addCustom("pravega", {{"t_sec", static_cast<double>(t)},
-                                         {"write_mbps", kWriteMBps},
-                                         {"read_mbps", readMBps},
-                                         {"backlog_mb", backlogMB}});
-            if (backlogMB < 50) {
-                report.note("pravega: CAUGHT UP at t=" + std::to_string(t) + " s");
-                break;
-            }
-        }
-        report.addCustom("pravega-summary", {{"peak_read_mbps", peakRead}},
-                         &world->exec().metrics());
-    }
+    report.section("single reader catch-up (no concurrent writers)");
+    runSingleReaderCatchup(report, /*readahead=*/true);
+    runSingleReaderCatchup(report, /*readahead=*/false);
 
     // ---------------- Pulsar ----------------
     {

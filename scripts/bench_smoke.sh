@@ -35,6 +35,28 @@ if [[ "${json_count}" -ne "${ran}" ]]; then
 fi
 python3 scripts/validate_bench_json.py "${OUT_DIR}"/BENCH_*.json
 
+echo "== fig12 readahead ablation: on/off rows + read-pipeline metrics =="
+python3 - "${OUT_DIR}/BENCH_fig12_historical_reads.json" <<'PY'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+rows = d["rows"]
+flags = {r["values"]["readahead"] for r in rows if "readahead" in r["values"]}
+assert flags >= {0, 1}, f"expected readahead on AND off rows, got {flags}"
+on = next(r for r in rows if r["series"] == "pravega-single[readahead=on]")
+off = next(r for r in rows if r["series"] == "pravega-single[readahead=off]")
+for key in ("store.read.coalesced", "store.read.lts_fetches",
+            "store.prefetch.issued", "store.prefetch.hits",
+            "store.prefetch.wasted_bytes"):
+    assert key in on["metrics"], f"missing metric {key} in readahead=on row"
+assert on["metrics"]["store.prefetch.issued"] > 0, "readahead=on issued no prefetches"
+assert off["metrics"]["store.prefetch.issued"] == 0, "readahead=off issued prefetches"
+print(f'fig12 ablation OK: single-reader catch-up '
+      f'on={on["values"]["catchup_mbps"]:.1f} MB/s '
+      f'off={off["values"]["catchup_mbps"]:.1f} MB/s, '
+      f'prefetch.issued={on["metrics"]["store.prefetch.issued"]}')
+PY
+
 echo "== determinism: bench_micro_core twice, byte-identical output =="
 DET_A="${OUT_DIR}/det-a"
 DET_B="${OUT_DIR}/det-b"

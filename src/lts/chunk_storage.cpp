@@ -36,6 +36,7 @@ Future<Unit> InMemoryChunkStorage::append(const std::string& name, SharedBuf dat
 
 Future<SharedBuf> InMemoryChunkStorage::read(const std::string& name, uint64_t offset,
                                              uint64_t length) {
+    ++readOps_;
     auto it = chunks_.find(name);
     if (it == chunks_.end()) return Future<SharedBuf>::failed(Status(Err::NotFound, name));
     const Bytes& b = it->second;
@@ -129,6 +130,7 @@ Future<Unit> FileSystemChunkStorage::append(const std::string& name, SharedBuf d
 
 Future<SharedBuf> FileSystemChunkStorage::read(const std::string& name, uint64_t offset,
                                                uint64_t length) {
+    ++readOps_;
     auto it = sizes_.find(name);
     if (it == sizes_.end()) return Future<SharedBuf>::failed(Status(Err::NotFound, name));
     std::ifstream f(pathFor(name), std::ios::binary);
@@ -172,6 +174,7 @@ Future<Unit> NoOpChunkStorage::append(const std::string& name, SharedBuf data) {
 
 Future<SharedBuf> NoOpChunkStorage::read(const std::string& name, uint64_t offset,
                                          uint64_t length) {
+    ++readOps_;
     auto it = sizes_.find(name);
     if (it == sizes_.end()) return Future<SharedBuf>::failed(Status(Err::NotFound, name));
     // Data was discarded; return zero-filled bytes of the right size so

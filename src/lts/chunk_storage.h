@@ -42,6 +42,9 @@ public:
     /// Seconds of queued work; drives ingest throttling (§4.3). Zero for
     /// backends without a timing model.
     virtual double backlogSeconds() const { return 0.0; }
+    /// Number of read() calls issued against this backend. Lets tests
+    /// assert fetch coalescing (N readers, one object-store read).
+    virtual uint64_t readOps() const { return 0; }
 };
 
 /// In-memory backend: exact data semantics, no timing model. The reference
@@ -55,10 +58,12 @@ public:
     sim::Future<sim::Unit> remove(const std::string& name) override;
     Result<ChunkInfo> stat(const std::string& name) const override;
     uint64_t totalBytes() const override { return totalBytes_; }
+    uint64_t readOps() const override { return readOps_; }
 
 private:
     std::map<std::string, Bytes> chunks_;
     uint64_t totalBytes_ = 0;
+    uint64_t readOps_ = 0;
 };
 
 /// Object-store backend: in-memory data plus an ObjectStoreModel timing
@@ -77,6 +82,7 @@ public:
     Result<ChunkInfo> stat(const std::string& name) const override;
     uint64_t totalBytes() const override { return mem_.totalBytes(); }
     double backlogSeconds() const override { return model_.backlogSeconds(); }
+    uint64_t readOps() const override { return mem_.readOps(); }
 
     const sim::ObjectStoreModel& model() const { return model_; }
 
@@ -98,12 +104,14 @@ public:
     sim::Future<sim::Unit> remove(const std::string& name) override;
     Result<ChunkInfo> stat(const std::string& name) const override;
     uint64_t totalBytes() const override { return totalBytes_; }
+    uint64_t readOps() const override { return readOps_; }
 
 private:
     std::string pathFor(const std::string& name) const;
     std::string root_;
     std::map<std::string, uint64_t> sizes_;
     uint64_t totalBytes_ = 0;
+    uint64_t readOps_ = 0;
 };
 
 /// Metadata-only backend: accepts and immediately discards data. This is
@@ -118,9 +126,11 @@ public:
     sim::Future<sim::Unit> remove(const std::string& name) override;
     Result<ChunkInfo> stat(const std::string& name) const override;
     uint64_t totalBytes() const override { return 0; }
+    uint64_t readOps() const override { return readOps_; }
 
 private:
     std::map<std::string, uint64_t> sizes_;
+    uint64_t readOps_ = 0;
 };
 
 }  // namespace pravega::lts

@@ -96,6 +96,7 @@ public:
     }
     uint64_t totalBytes() const override { return inner_.totalBytes(); }
     double backlogSeconds() const override { return inner_.backlogSeconds(); }
+    uint64_t readOps() const override { return inner_.readOps(); }
 
 private:
     bool shouldFail(OpKind kind) {

@@ -140,8 +140,18 @@ Result<CacheAddress> BlockCache::append(CacheAddress address, BytesView data) {
     while (pos < data.size()) {
         auto blk = allocBlock();
         if (!blk) {
-            // Leave the entry in its (valid) extended-so-far state; the
-            // caller decides whether to evict and retry or drop the entry.
+            // Unwind blocks chained by THIS call before failing: callers
+            // only know `address`, and chains point backward, so anything
+            // past it would be unreachable and leak forever. The entry
+            // survives in its topped-up original state (old blocks plus the
+            // fill of the old last block), which is exactly the state
+            // `entryLength(address)` reports.
+            while (last != address) {
+                CacheAddress prev = meta(last).prev;
+                storedBytes_ -= meta(last).length;
+                freeBlock(last);
+                last = prev;
+            }
             return blk.status();
         }
         meta(blk.value()).prev = last;

@@ -35,11 +35,18 @@ SegmentContainer::SegmentContainer(sim::Executor& exec, uint32_t containerId, wa
       mCacheMisses_(exec.metrics().counter("store.cache.read_misses")),
       mCacheEvictions_(exec.metrics().counter("store.cache.evictions")),
       mTailWaits_(exec.metrics().counter("store.read.tail_waits")),
+      mReadCoalesced_(exec.metrics().counter("store.read.coalesced")),
+      mLtsFetches_(exec.metrics().counter("store.read.lts_fetches")),
+      mPrefetchIssued_(exec.metrics().counter("store.prefetch.issued")),
+      mPrefetchHits_(exec.metrics().counter("store.prefetch.hits")),
+      mPrefetchWasted_(exec.metrics().counter("store.prefetch.wasted_bytes")),
       mQueueDepth_(exec.metrics().gauge("store.op_queue.depth")),
       mFrameBytes_(exec.metrics().histogram("store.frame.bytes")),
       mFrameOps_(exec.metrics().histogram("store.frame.ops")),
       mStoreQueueNs_(exec.metrics().histogram("trace.write.1_store_queue_ns")),
-      mWalCommitNs_(exec.metrics().histogram("trace.write.2_wal_commit_ns")) {
+      mWalCommitNs_(exec.metrics().histogram("trace.write.2_wal_commit_ns")),
+      mDemandFetchNs_(exec.metrics().histogram("trace.read.1_lts_fetch_ns")),
+      mPrefetchFetchNs_(exec.metrics().histogram("trace.read.2_prefetch_fetch_ns")) {
     readIndex_.setEvictionCounter(&mCacheEvictions_);
     storageWriter_ = std::make_unique<StorageWriter>(exec, *this, lts, cfg.storage);
 }
@@ -114,6 +121,18 @@ void SegmentContainer::failAllPending(Status error) {
     for (auto& [seg, list] : waiters) {
         for (auto& w : list) w.wake.setError(error);
     }
+    // Drain the in-flight fetch table; late piece completions are dropped
+    // by the epoch bump.
+    ++fetchEpoch_;
+    auto fetches = std::move(inflightFetches_);
+    inflightFetches_.clear();
+    for (auto& [seg, perSeg] : fetches) {
+        for (auto& [start, fetch] : perSeg) {
+            for (auto& w : fetch.waiters) w.promise.setError(error);
+        }
+    }
+    prefetchInflightBytes_ = 0;
+    readStates_.clear();
 }
 
 void SegmentContainer::startCachePolicyTimer() {
@@ -555,6 +574,21 @@ void SegmentContainer::applyOp(Operation& op, int64_t walSequence, bool replay) 
                 readIndex_.removeSegment(op.segment);
                 attributes_.removeSegment(op.segment);
                 storageWriter_->notifyDeleted(op.segment);
+                readStates_.erase(op.segment);
+                auto fit = inflightFetches_.find(op.segment);
+                if (fit != inflightFetches_.end()) {
+                    auto fetches = std::move(fit->second);
+                    inflightFetches_.erase(fit);
+                    for (auto& [start, fetch] : fetches) {
+                        if (fetch.prefetch) {
+                            uint64_t bytes = static_cast<uint64_t>(fetch.end - start);
+                            prefetchInflightBytes_ -= std::min(prefetchInflightBytes_, bytes);
+                        }
+                        for (auto& w : fetch.waiters) {
+                            w.promise.setError(Status(Err::NotFound, "segment deleted"));
+                        }
+                    }
+                }
                 if (!replay) wakeTailWaiters(op.segment);
             }
             break;
@@ -721,12 +755,12 @@ sim::Future<ReadResult> SegmentContainer::read(SegmentId id, int64_t offset, int
     if (offline_) return sim::Future<ReadResult>::failed(Status(Err::ContainerOffline, ""));
     sim::Promise<ReadResult> p;
     auto fut = p.future();
-    attemptRead(id, offset, maxBytes, std::move(p), 0);
+    attemptRead(id, offset, maxBytes, std::move(p), 0, /*counted=*/false);
     return fut;
 }
 
 void SegmentContainer::attemptRead(SegmentId id, int64_t offset, int64_t maxBytes,
-                                   sim::Promise<ReadResult> promise, int depth) {
+                                   sim::Promise<ReadResult> promise, int depth, bool counted) {
     SegmentMeta* meta = findSegment(id);
     if (!meta) {
         promise.setError(Err::NotFound, "no such segment");
@@ -739,15 +773,22 @@ void SegmentContainer::attemptRead(SegmentId id, int64_t offset, int64_t maxByte
         return;
     }
     if (auto* hit = std::get_if<ReadHit>(&outcome.value())) {
-        // depth > 0 means this hit only exists because an LTS fetch (or a
-        // tail wake-up) filled the index — don't double-count it as a hit.
-        if (depth == 0) mCacheHits_.inc();
+        // Hit/miss accounting is by *first resolution*: a read counts once,
+        // at the first attempt that resolves to data-in-cache (hit) or
+        // needs-LTS (miss). Tail-woken reads land here uncounted and count
+        // as hits; fetch retries arrive with counted=true and count nothing.
+        if (!counted) mCacheHits_.inc();
         ReadResult res;
         res.data = std::move(hit->data);
         res.offset = offset;
         res.endOfSegment =
             meta->props.sealed &&
             offset + static_cast<int64_t>(res.data.size()) >= meta->appliedLength;
+        if (cfg_.readPipeline.enabled) {
+            int64_t readEnd = offset + static_cast<int64_t>(res.data.size());
+            consumePrefetched(id, offset, readEnd);
+            noteSequentialHit(id, offset, readEnd, *meta);
+        }
         promise.setValue(std::move(res));
         return;
     }
@@ -761,50 +802,316 @@ void SegmentContainer::attemptRead(SegmentId id, int64_t offset, int64_t maxByte
         }
         // Register a tail waiter; retry when new data is applied (§4.2:
         // "return a future that will be completed when new data is added").
+        // The wait itself is neither a hit nor a miss — `counted` rides
+        // along so the woken retry attributes the read at its resolution.
         mTailWaits_.inc();
         TailWaiter waiter;
         waiter.offset = offset;
         auto wake = waiter.wake.future();
         tailWaiters_[id].push_back(std::move(waiter));
-        wake.onComplete([this, id, offset, maxBytes, promise,
-                         depth](const Result<sim::Unit>& r) mutable {
+        wake.onComplete([this, id, offset, maxBytes, promise, depth,
+                         counted](const Result<sim::Unit>& r) mutable {
             if (!r.isOk()) {
                 promise.setError(r.status());
                 return;
             }
-            attemptRead(id, offset, maxBytes, std::move(promise), depth + 1);
+            attemptRead(id, offset, maxBytes, std::move(promise), depth + 1, counted);
         });
         return;
     }
 
     // Cache miss: fetch the gap from LTS, index it, retry (§4.2).
-    if (depth == 0) mCacheMisses_.inc();
+    if (!counted) {
+        mCacheMisses_.inc();
+        counted = true;
+    }
     auto miss = std::get<ReadMiss>(outcome.value());
     if (depth > 8) {
         promise.setError(Err::IoError, "read did not converge");
         return;
     }
+    if (!cfg_.readPipeline.enabled) {
+        legacyFetch(id, miss, PendingRead{offset, maxBytes, std::move(promise), depth, counted});
+        return;
+    }
+
+    // A demand miss over a range we prefetched means the prefetch was
+    // evicted before use — charge it as waste.
+    chargeWastedPrefetch(id, miss.offset, miss.offset + miss.length);
+
+    // Coalesce onto an in-flight fetch already covering the miss offset:
+    // this reader rides that fetch instead of issuing its own.
+    auto sit = inflightFetches_.find(id);
+    if (sit != inflightFetches_.end()) {
+        auto next = sit->second.upper_bound(miss.offset);
+        if (next != sit->second.begin()) {
+            auto prev = std::prev(next);
+            if (prev->second.end > miss.offset) {
+                mReadCoalesced_.inc();
+                prev->second.waiters.push_back(
+                    PendingRead{offset, maxBytes, std::move(promise), depth, counted});
+                return;
+            }
+        }
+    }
+
+    int64_t start = miss.offset;
+    int64_t end = miss.offset + miss.length;
+    // Clip against the next in-flight fetch so fetched ranges never overlap.
+    if (sit != inflightFetches_.end()) {
+        auto next = sit->second.upper_bound(start);
+        if (next != sit->second.end() && next->first < end) end = next->first;
+    }
+    PendingRead demand{offset, maxBytes, std::move(promise), depth, counted};
+    int64_t fetched = startFetch(id, start, end, /*prefetch=*/false, &demand);
+    if (cfg_.readPipeline.readahead && fetched > start) {
+        if (SegmentMeta* m = findSegment(id)) maybePrefetch(id, fetched, *m);
+    }
+}
+
+void SegmentContainer::legacyFetch(SegmentId id, const ReadMiss& miss, PendingRead waiter) {
     auto chunk = storageWriter_->findChunk(id, miss.offset);
     if (!chunk) {
-        promise.setError(chunk.status());
+        waiter.promise.setError(chunk.status());
         return;
     }
     int64_t within = miss.offset - chunk.value().startOffset;
     int64_t len = std::min(miss.length, chunk.value().length - within);
     if (len <= 0) {
-        promise.setError(Err::IoError, "chunk metadata inconsistent with read index");
+        waiter.promise.setError(Err::IoError, "chunk metadata inconsistent with read index");
         return;
     }
+    mLtsFetches_.inc();
+    sim::TimePoint startedAt = exec_.now();
     lts_.read(chunk.value().name, static_cast<uint64_t>(within), static_cast<uint64_t>(len))
-        .onComplete([this, id, offset, maxBytes, promise, miss,
-                     depth](const Result<SharedBuf>& r) mutable {
+        .onComplete([this, id, missOffset = miss.offset, w = std::move(waiter),
+                     startedAt](const Result<SharedBuf>& r) mutable {
+            mDemandFetchNs_.record(exec_.now() - startedAt);
             if (!r.isOk()) {
-                promise.setError(r.status());
+                w.promise.setError(r.status());
                 return;
             }
-            readIndex_.insertFromStorage(id, miss.offset, r.value().view());
-            attemptRead(id, offset, maxBytes, std::move(promise), depth + 1);
+            readIndex_.insertFromStorage(id, missOffset, r.value().view());
+            attemptRead(id, w.offset, w.maxBytes, std::move(w.promise), w.depth + 1, w.counted);
         });
+}
+
+int64_t SegmentContainer::startFetch(SegmentId id, int64_t start, int64_t end, bool prefetch,
+                                     PendingRead* demand) {
+    const auto& rp = cfg_.readPipeline;
+    auto chunks = storageWriter_->findChunks(id, start, end - start);
+    // Build contiguous per-chunk pieces covering [start, ...), bounded by
+    // the parallel-fetch fan-out cap. A gap (or a range past the flushed
+    // chunks) stops coverage; demand readers on a gap get a hard error so
+    // the inconsistency surfaces instead of looping.
+    struct Piece {
+        std::string name;
+        uint64_t within = 0;
+        uint64_t length = 0;
+    };
+    std::vector<Piece> pieces;
+    int64_t cursor = start;
+    for (const auto& c : chunks) {
+        if (c.startOffset > cursor) break;  // gap in chunk coverage
+        int64_t pieceEnd = std::min(end, c.startOffset + c.length);
+        if (pieceEnd <= cursor) continue;
+        pieces.push_back(Piece{c.name, static_cast<uint64_t>(cursor - c.startOffset),
+                               static_cast<uint64_t>(pieceEnd - cursor)});
+        cursor = pieceEnd;
+        if (cursor >= end) break;
+        if (static_cast<int>(pieces.size()) >= rp.maxParallelChunkFetches) break;
+    }
+    if (pieces.empty()) {
+        if (demand) {
+            demand->promise.setError(Err::IoError, "chunk metadata inconsistent with read index");
+        }
+        return start;
+    }
+    int64_t fetchEnd = cursor;
+
+    auto& entry = inflightFetches_[id][start];
+    entry.end = fetchEnd;
+    entry.prefetch = prefetch;
+    entry.piecesRemaining = static_cast<int>(pieces.size());
+    entry.startedAt = exec_.now();
+    // The demand waiter must be registered BEFORE any piece is issued: a
+    // synchronous backend completes reads inline, which would drain the
+    // entry before the waiter existed.
+    if (demand) entry.waiters.push_back(std::move(*demand));
+
+    if (prefetch) {
+        mPrefetchIssued_.inc();
+        prefetchInflightBytes_ += static_cast<uint64_t>(fetchEnd - start);
+    }
+    uint64_t epoch = fetchEpoch_;
+    int64_t pieceOffset = start;
+    for (auto& piece : pieces) {
+        int64_t insertAt = pieceOffset;
+        pieceOffset += static_cast<int64_t>(piece.length);
+        mLtsFetches_.inc();
+        lts_.read(piece.name, piece.within, piece.length)
+            .onComplete([this, id, start, insertAt, epoch](const Result<SharedBuf>& r) {
+                if (epoch != fetchEpoch_ || offline_) return;
+                Status st;
+                if (r.isOk()) {
+                    readIndex_.insertFromStorage(id, insertAt, r.value().view());
+                } else {
+                    st = r.status();
+                }
+                finishFetchPiece(id, start, st);
+            });
+    }
+    return fetchEnd;
+}
+
+void SegmentContainer::finishFetchPiece(SegmentId id, int64_t start, Status st) {
+    auto sit = inflightFetches_.find(id);
+    if (sit == inflightFetches_.end()) return;
+    auto eit = sit->second.find(start);
+    if (eit == sit->second.end()) return;
+    InflightFetch& entry = eit->second;
+    if (!st && entry.failure) entry.failure = st;  // keep the first failure
+    if (--entry.piecesRemaining > 0) return;
+
+    // Fetch complete: detach the entry before waking waiters — their
+    // retries may start new fetches on this segment.
+    InflightFetch done = std::move(entry);
+    sit->second.erase(eit);
+    if (sit->second.empty()) inflightFetches_.erase(sit);
+
+    if (done.prefetch) {
+        uint64_t bytes = static_cast<uint64_t>(done.end - start);
+        prefetchInflightBytes_ -= std::min(prefetchInflightBytes_, bytes);
+        mPrefetchFetchNs_.record(exec_.now() - done.startedAt);
+        if (done.failure) {
+            // Record the landed range so later hits count as prefetch hits
+            // and eviction-before-use lands on the waste counter.
+            auto& pf = readStates_[id].prefetched;
+            int64_t s = start;
+            int64_t e = done.end;
+            auto it = pf.lower_bound(s);
+            if (it != pf.begin()) {
+                auto prev = std::prev(it);
+                if (prev->second >= s) {
+                    s = prev->first;
+                    e = std::max(e, prev->second);
+                    pf.erase(prev);
+                }
+            }
+            while (it != pf.end() && it->first <= e) {
+                e = std::max(e, it->second);
+                it = pf.erase(it);
+            }
+            pf[s] = e;
+        }
+    } else {
+        mDemandFetchNs_.record(exec_.now() - done.startedAt);
+    }
+
+    for (auto& w : done.waiters) {
+        if (done.failure) {
+            attemptRead(id, w.offset, w.maxBytes, std::move(w.promise), w.depth + 1, w.counted);
+        } else {
+            w.promise.setError(done.failure);
+        }
+    }
+}
+
+void SegmentContainer::maybePrefetch(SegmentId id, int64_t from, const SegmentMeta& meta) {
+    const auto& rp = cfg_.readPipeline;
+    if (!rp.enabled || !rp.readahead || offline_) return;
+    // Only flushed data has chunks to prefetch from; the unflushed tail is
+    // already in cache (and the eviction policy protects it — prefetch must
+    // not change that, hence the utilization margin below).
+    int64_t horizon = std::min(
+        meta.props.storageLength,
+        from + static_cast<int64_t>(rp.prefetchWindows) *
+                   static_cast<int64_t>(rp.prefetchFetchBytes));
+    int64_t cursor = from;
+    while (cursor < horizon) {
+        cursor = readIndex_.contiguousEnd(id, cursor, horizon);  // skip cached runs
+        if (cursor >= horizon) break;
+        if (cache_.utilization() >= rp.prefetchMaxCacheUtilization) break;
+        if (prefetchInflightBytes_ >= rp.prefetchBudgetBytes) break;
+        int64_t end = std::min(horizon, cursor + static_cast<int64_t>(rp.prefetchFetchBytes));
+        // Skip past (or clip against) fetches already in flight.
+        bool covered = false;
+        auto sit = inflightFetches_.find(id);
+        if (sit != inflightFetches_.end()) {
+            auto next = sit->second.upper_bound(cursor);
+            if (next != sit->second.begin()) {
+                auto prev = std::prev(next);
+                if (prev->second.end > cursor) {
+                    cursor = prev->second.end;
+                    covered = true;
+                }
+            }
+            if (!covered && next != sit->second.end() && next->first < end) end = next->first;
+        }
+        if (covered) continue;
+        if (end <= cursor) break;
+        int64_t got = startFetch(id, cursor, end, /*prefetch=*/true, nullptr);
+        if (got <= cursor) break;  // no chunk coverage yet: stop
+        cursor = got;
+    }
+}
+
+void SegmentContainer::noteSequentialHit(SegmentId id, int64_t offset, int64_t readEnd,
+                                         const SegmentMeta& meta) {
+    auto& state = readStates_[id];
+    state.streak = offset == state.lastReadEnd ? state.streak + 1 : 1;
+    state.lastReadEnd = readEnd;
+    if (state.streak >= cfg_.readPipeline.sequentialStreak) {
+        maybePrefetch(id, readEnd, meta);
+    }
+}
+
+bool SegmentContainer::consumePrefetched(SegmentId id, int64_t offset, int64_t readEnd) {
+    auto rit = readStates_.find(id);
+    if (rit == readStates_.end()) return false;
+    auto& pf = rit->second.prefetched;
+    bool any = false;
+    auto it = pf.lower_bound(offset);
+    if (it != pf.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > offset) it = prev;
+    }
+    while (it != pf.end() && it->first < readEnd) {
+        int64_t a = it->first;
+        int64_t b = it->second;
+        any = true;
+        it = pf.erase(it);
+        if (a < offset) pf.emplace(a, offset);
+        if (b > readEnd) {
+            it = pf.emplace(readEnd, b).first;
+            ++it;
+        }
+    }
+    if (any) mPrefetchHits_.inc();
+    return any;
+}
+
+void SegmentContainer::chargeWastedPrefetch(SegmentId id, int64_t missStart, int64_t missEnd) {
+    auto rit = readStates_.find(id);
+    if (rit == readStates_.end()) return;
+    auto& pf = rit->second.prefetched;
+    auto it = pf.lower_bound(missStart);
+    if (it != pf.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > missStart) it = prev;
+    }
+    while (it != pf.end() && it->first < missEnd) {
+        int64_t a = it->first;
+        int64_t b = it->second;
+        int64_t overlap = std::min(b, missEnd) - std::max(a, missStart);
+        it = pf.erase(it);
+        if (overlap > 0) mPrefetchWasted_.inc(static_cast<uint64_t>(overlap));
+        if (a < missStart) pf.emplace(a, missStart);
+        if (b > missEnd) {
+            it = pf.emplace(missEnd, b).first;
+            ++it;
+        }
+    }
 }
 
 // ----------------------------------------------------------- observation

@@ -56,6 +56,34 @@ struct ContainerConfig {
 
     /// Cache policy cadence (read-index eviction).
     sim::Duration cachePolicyInterval = sim::msec(250);
+
+    /// Storage read pipeline (§4.2, §5.7): coalesced LTS fetches, parallel
+    /// multi-chunk demand fetches, and budget-bounded segment readahead for
+    /// catch-up readers.
+    struct ReadPipelineConfig {
+        /// Master switch: false restores the legacy serial fetch-retry path
+        /// (no coalescing, no parallel multi-chunk fetch, no readahead).
+        bool enabled = true;
+        /// Readahead ablation flag (Fig 12): prefetch the next windows into
+        /// the block cache on a miss or a sequential-hit streak.
+        bool readahead = true;
+        /// Fetch windows the prefetcher keeps in flight ahead of a reader.
+        int prefetchWindows = 4;
+        /// Size of each prefetch fetch window.
+        uint64_t prefetchFetchBytes = 4 * 1024 * 1024;
+        /// Cap on in-flight prefetch bytes per container.
+        uint64_t prefetchBudgetBytes = 32 * 1024 * 1024;
+        /// Prefetch stops above this cache utilization so readahead can
+        /// never push the cache into evicting the live tail (§4.2 policy
+        /// evicts only below the storage watermark; this margin keeps
+        /// prefetch from forcing those evictions either).
+        double prefetchMaxCacheUtilization = 0.75;
+        /// Fan-out bound for one demand miss spanning chunk boundaries.
+        int maxParallelChunkFetches = 8;
+        /// Sequential depth-0 hits in a row that trigger readahead.
+        int sequentialStreak = 2;
+    };
+    ReadPipelineConfig readPipeline;
 };
 
 struct ReadResult {
@@ -164,6 +192,31 @@ private:
         int64_t offset;
         sim::Promise<sim::Unit> wake;
     };
+    /// A read parked on an in-flight LTS fetch (the original misser and any
+    /// coalesced riders); re-attempted when the fetch lands.
+    struct PendingRead {
+        int64_t offset;
+        int64_t maxBytes;
+        sim::Promise<ReadResult> promise;
+        int depth;
+        bool counted;  // hit/miss already attributed (first resolution)
+    };
+    /// One outstanding LTS fetch for [start, end) of a segment, possibly
+    /// split into parallel per-chunk piece reads.
+    struct InflightFetch {
+        int64_t end = 0;
+        bool prefetch = false;
+        int piecesRemaining = 0;
+        sim::TimePoint startedAt = 0;
+        Status failure;  // first piece failure, if any
+        std::vector<PendingRead> waiters;
+    };
+    /// Per-segment readahead state.
+    struct SegmentReadState {
+        int64_t lastReadEnd = -1;
+        int streak = 0;
+        std::map<int64_t, int64_t> prefetched;  // inserted, unconsumed ranges
+    };
 
     SegmentMeta* findSegment(SegmentId id);
     const SegmentMeta* findSegment(SegmentId id) const;
@@ -185,7 +238,21 @@ private:
     void wakeTailWaiters(SegmentId id);
     void failAllPending(Status error);
     void attemptRead(SegmentId id, int64_t offset, int64_t maxBytes,
-                     sim::Promise<ReadResult> promise, int depth);
+                     sim::Promise<ReadResult> promise, int depth, bool counted);
+    void legacyFetch(SegmentId id, const ReadMiss& miss, PendingRead waiter);
+    /// Starts an LTS fetch for [start, end) (parallel per-chunk pieces,
+    /// capped at maxParallelChunkFetches). `demand` (when non-null) becomes
+    /// the fetch's first waiter; on setup failure its promise is failed.
+    /// Returns the end of the range actually being fetched (`start` when no
+    /// fetch could be started, e.g. no chunks cover the range yet).
+    int64_t startFetch(SegmentId id, int64_t start, int64_t end, bool prefetch,
+                       PendingRead* demand);
+    void finishFetchPiece(SegmentId id, int64_t start, Status st);
+    void maybePrefetch(SegmentId id, int64_t from, const SegmentMeta& meta);
+    void noteSequentialHit(SegmentId id, int64_t offset, int64_t readEnd,
+                           const SegmentMeta& meta);
+    bool consumePrefetched(SegmentId id, int64_t offset, int64_t readEnd);
+    void chargeWastedPrefetch(SegmentId id, int64_t missStart, int64_t missEnd);
     void startCachePolicyTimer();
     void truncateWalIfPossible();
 
@@ -230,6 +297,13 @@ private:
     std::map<SegmentId, std::vector<TailWaiter>> tailWaiters_;
     std::map<SegmentId, SegmentRate> rates_;
 
+    // Storage read pipeline: in-flight fetch table (fetch start offset ->
+    // fetch) and per-segment readahead state.
+    std::map<SegmentId, std::map<int64_t, InflightFetch>> inflightFetches_;
+    std::map<SegmentId, SegmentReadState> readStates_;
+    uint64_t prefetchInflightBytes_ = 0;
+    uint64_t fetchEpoch_ = 0;  // invalidates piece completions on shutdown
+
     uint64_t appliedOps_ = 0;
     bool offline_ = true;  // start() brings the container online
     uint64_t cacheTimerEpoch_ = 0;
@@ -243,11 +317,18 @@ private:
     obs::Counter& mCacheMisses_;
     obs::Counter& mCacheEvictions_;
     obs::Counter& mTailWaits_;
+    obs::Counter& mReadCoalesced_;
+    obs::Counter& mLtsFetches_;
+    obs::Counter& mPrefetchIssued_;
+    obs::Counter& mPrefetchHits_;
+    obs::Counter& mPrefetchWasted_;
     obs::Gauge& mQueueDepth_;
     obs::LatencyHistogram& mFrameBytes_;
     obs::LatencyHistogram& mFrameOps_;
     obs::LatencyHistogram& mStoreQueueNs_;
     obs::LatencyHistogram& mWalCommitNs_;
+    obs::LatencyHistogram& mDemandFetchNs_;
+    obs::LatencyHistogram& mPrefetchFetchNs_;
 };
 
 }  // namespace pravega::segmentstore

@@ -92,13 +92,63 @@ Status ReadIndex::insertEntry(SegmentIndex& idx, int64_t offset, BytesView data)
 Status ReadIndex::insertFromStorage(SegmentId segment, int64_t offset, BytesView data) {
     auto it = segments_.find(segment);
     if (it == segments_.end()) return Status(Err::NotFound, "segment not in read index");
-    // Avoid double-indexing: trim any part already covered by an entry
-    // starting at or after `offset`.
-    auto ceiling = it->second.entries.ceilingEntry(offset);
-    int64_t limit = ceiling.first ? *ceiling.first : offset + static_cast<int64_t>(data.size());
-    int64_t usable = std::min<int64_t>(static_cast<int64_t>(data.size()), limit - offset);
-    if (usable <= 0) return Status::ok();
-    return insertEntry(it->second, offset, data.first(static_cast<size_t>(usable)));
+    SegmentIndex& idx = it->second;
+    // Avoid double-indexing: an entry may overlap the fetched range from
+    // EITHER side. A floor entry overlapping `offset` happens when part of
+    // the range was re-indexed (tail append or another fetch) while this
+    // fetch was in flight; ceiling entries bound how far we may insert.
+    // Walk the range, skipping covered bytes and inserting only the gaps.
+    while (!data.empty()) {
+        auto floor = idx.entries.floorEntry(offset);
+        if (floor.first && *floor.first + floor.second->length > offset) {
+            // Front of the range is already indexed: skip past it.
+            int64_t skip = *floor.first + floor.second->length - offset;
+            if (skip >= static_cast<int64_t>(data.size())) break;
+            offset += skip;
+            data = data.subspan(static_cast<size_t>(skip));
+            continue;
+        }
+        auto ceiling = idx.entries.ceilingEntry(offset);
+        int64_t limit = ceiling.first ? *ceiling.first : offset + static_cast<int64_t>(data.size());
+        int64_t usable = std::min<int64_t>(static_cast<int64_t>(data.size()), limit - offset);
+        if (usable > 0) {
+            Status s = insertEntry(idx, offset, data.first(static_cast<size_t>(usable)));
+            if (!s) return s;
+            offset += usable;
+            data = data.subspan(static_cast<size_t>(usable));
+        }
+        // usable == 0 means a ceiling entry starts exactly at `offset`; the
+        // next iteration's floor check skips over it.
+    }
+    checkSegmentInvariants(idx);
+    return Status::ok();
+}
+
+void ReadIndex::checkSegmentInvariants(SegmentIndex& idx) {
+#ifndef NDEBUG
+    int64_t prevEnd = INT64_MIN;
+    idx.entries.forEach([&](const int64_t& off, Entry& e) {
+        assert(e.length > 0 && "read-index entry must hold bytes");
+        assert(off >= prevEnd && "read-index entries must not overlap");
+        prevEnd = off + e.length;
+        return true;
+    });
+#else
+    (void)idx;
+#endif
+}
+
+int64_t ReadIndex::contiguousEnd(SegmentId segment, int64_t offset, int64_t limit) {
+    auto it = segments_.find(segment);
+    if (it == segments_.end()) return offset;
+    SegmentIndex& idx = it->second;
+    int64_t end = offset;
+    while (end < limit) {
+        auto floor = idx.entries.floorEntry(end);
+        if (!floor.first || *floor.first + floor.second->length <= end) break;
+        end = *floor.first + floor.second->length;
+    }
+    return std::min(end, limit);
 }
 
 Result<ReadOutcome> ReadIndex::read(SegmentId segment, int64_t offset, int64_t maxBytes,

@@ -62,7 +62,11 @@ public:
     /// required to be contiguous with evicted history).
     Status append(SegmentId segment, int64_t offset, BytesView data);
 
-    /// Inserts data fetched from LTS covering [offset, offset+size).
+    /// Inserts data fetched from LTS covering [offset, offset+size). Bytes
+    /// already indexed are trimmed away on BOTH sides: against an
+    /// overlapping floor entry (possible after eviction plus a concurrent
+    /// refetch of a stale gap) and against any ceiling entries, filling
+    /// only the real gaps. Never double-indexes a byte.
     Status insertFromStorage(SegmentId segment, int64_t offset, BytesView data);
 
     /// Attempts to serve [offset, offset+maxBytes) for a segment whose
@@ -72,6 +76,11 @@ public:
 
     /// Drops indexed data before `newStartOffset` (segment truncation).
     void truncate(SegmentId segment, int64_t newStartOffset);
+
+    /// End of the contiguous indexed run covering `offset` (== `offset`
+    /// when nothing covers it). Capped at `limit` so the walk stays cheap;
+    /// used by the readahead prefetcher to find where cached data runs out.
+    int64_t contiguousEnd(SegmentId segment, int64_t offset, int64_t limit);
 
     /// Advances the flushed-to-LTS watermark; data below it is evictable.
     void setStorageLength(SegmentId segment, int64_t storageLength);
@@ -101,6 +110,10 @@ private:
     };
 
     Status insertEntry(SegmentIndex& idx, int64_t offset, BytesView data);
+
+    /// Debug-build invariant: entries of `idx` are non-overlapping and
+    /// offset-ordered. No-op in release builds.
+    void checkSegmentInvariants(SegmentIndex& idx);
 
     BlockCache& cache_;
     Config cfg_;

@@ -40,6 +40,7 @@ StorageWriter::StorageWriter(sim::Executor& exec, SegmentContainer& container,
       mFlushes_(exec.metrics().counter("store.writer.flushes")),
       mFlushBytes_(exec.metrics().counter("store.writer.flush_bytes")),
       mFlushFailures_(exec.metrics().counter("store.writer.flush_failures")),
+      mOrphanChunks_(exec.metrics().gauge("lts.orphan_chunks")),
       mFlushNs_(exec.metrics().histogram("store.writer.flush_ns")),
       mFlushBatchBytes_(exec.metrics().histogram("store.writer.flush_batch_bytes")) {}
 
@@ -98,13 +99,30 @@ void StorageWriter::notifyDeleted(SegmentId segment) {
         it->second.pendingBytes = 0;
         it->second.deleted = true;
     }
-    // Chunk removal is best-effort and asynchronous.
+    // Chunk removal is best-effort and asynchronous, but a dropped failure
+    // would leave an orphan chunk that totalBytes() counts forever — so
+    // failures are logged, retried once, and then surfaced on a gauge.
     auto chunks = container_.tableScan(container_.systemTableSegment(),
                                        chunkKey(segment, 0).substr(0, 24));
     for (const auto& [key, value] : chunks) {
         auto rec = ChunkRecord::deserialize(value.value);
-        if (rec) storage_.remove(rec.value().name);
+        if (rec) removeChunk(rec.value().name, /*isRetry=*/false);
     }
+}
+
+void StorageWriter::removeChunk(const std::string& name, bool isRetry) {
+    storage_.remove(name).onComplete([this, name, isRetry](const Result<sim::Unit>& r) {
+        if (r.isOk() || r.status().code() == Err::NotFound) return;
+        if (!isRetry) {
+            PLOG_WARN(kLog, "chunk remove failed (%s), retrying once: %s",
+                      r.status().toString().c_str(), name.c_str());
+            removeChunk(name, /*isRetry=*/true);
+            return;
+        }
+        PLOG_WARN(kLog, "chunk remove retry failed (%s); orphaning %s",
+                  r.status().toString().c_str(), name.c_str());
+        mOrphanChunks_.add(1.0);
+    });
 }
 
 void StorageWriter::scan() {
@@ -338,6 +356,23 @@ Result<ChunkRecord> StorageWriter::findChunk(SegmentId segment, int64_t offset) 
         }
     }
     return Status(Err::NotFound, "no chunk covers offset");
+}
+
+std::vector<ChunkRecord> StorageWriter::findChunks(SegmentId segment, int64_t offset,
+                                                   int64_t length) const {
+    std::vector<ChunkRecord> out;
+    if (length <= 0) return out;
+    int64_t end = offset + length;
+    auto chunks = container_.tableScan(container_.systemTableSegment(),
+                                       chunkKey(segment, 0).substr(0, 24));
+    for (const auto& [key, value] : chunks) {
+        auto rec = ChunkRecord::deserialize(value.value);
+        if (!rec) continue;
+        const ChunkRecord& r = rec.value();
+        if (r.startOffset >= end) break;  // records are in offset order
+        if (r.startOffset + r.length > offset) out.push_back(r);
+    }
+    return out;
 }
 
 uint64_t StorageWriter::maxSegmentPendingBytes() const {

@@ -9,6 +9,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -69,6 +70,12 @@ public:
     /// Locates the chunk covering `offset` for LTS reads.
     Result<ChunkRecord> findChunk(SegmentId segment, int64_t offset) const;
 
+    /// All chunks overlapping [offset, offset+length), in offset order.
+    /// Lets the read pipeline fetch a multi-chunk range in parallel instead
+    /// of discovering chunks one fetch-retry round at a time (§5.7).
+    std::vector<ChunkRecord> findChunks(SegmentId segment, int64_t offset,
+                                        int64_t length) const;
+
     /// Highest WAL sequence S such that every append with sequence <= S is
     /// durable in LTS (drives WAL truncation).
     int64_t flushedWalSequence() const;
@@ -113,10 +120,15 @@ private:
     bool running_ = false;
     uint64_t timerEpoch_ = 0;
 
+    /// Best-effort chunk removal with one retry; failures land on the
+    /// `lts.orphan_chunks` gauge instead of being silently dropped.
+    void removeChunk(const std::string& name, bool isRetry);
+
     // World-aggregate storage-writer metrics.
     obs::Counter& mFlushes_;
     obs::Counter& mFlushBytes_;
     obs::Counter& mFlushFailures_;
+    obs::Gauge& mOrphanChunks_;
     obs::LatencyHistogram& mFlushNs_;
     obs::LatencyHistogram& mFlushBatchBytes_;
 };

@@ -454,6 +454,149 @@ TEST_F(ContainerFixture, DrainRatesReportsPerSegmentTraffic) {
     EXPECT_TRUE(c->drainRates().empty());
 }
 
+/// Wraps a chunk store and defers read completion by a fixed virtual-time
+/// delay, so concurrent readers can pile onto one in-flight LTS fetch (the
+/// in-memory backend completes synchronously, which would hide coalescing).
+class DelayedChunkStorage : public lts::ChunkStorage {
+public:
+    DelayedChunkStorage(sim::Executor& exec, lts::ChunkStorage& inner, sim::Duration readDelay)
+        : exec_(exec), inner_(inner), delay_(readDelay) {}
+
+    sim::Future<sim::Unit> create(const std::string& name) override { return inner_.create(name); }
+    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override {
+        return inner_.append(name, std::move(data));
+    }
+    sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
+                                uint64_t length) override {
+        ++reads_;
+        sim::Promise<SharedBuf> p;
+        auto fut = p.future();
+        exec_.schedule(delay_, [this, name, offset, length, p]() mutable {
+            inner_.read(name, offset, length)
+                .onComplete([p](const Result<SharedBuf>& r) mutable { p.complete(r); });
+        });
+        return fut;
+    }
+    sim::Future<sim::Unit> remove(const std::string& name) override { return inner_.remove(name); }
+    Result<lts::ChunkInfo> stat(const std::string& name) const override {
+        return inner_.stat(name);
+    }
+    uint64_t totalBytes() const override { return inner_.totalBytes(); }
+    uint64_t readOps() const override { return reads_; }
+
+private:
+    sim::Executor& exec_;
+    lts::ChunkStorage& inner_;
+    sim::Duration delay_;
+    uint64_t reads_ = 0;
+};
+
+TEST_F(ContainerFixture, ConcurrentMissStormCoalescesIntoOneLtsRead) {
+    // N readers miss on the same cold range at once; the in-flight fetch
+    // table must issue exactly ONE object-store read and park the rest.
+    BlockCache::Config tiny;
+    tiny.blockSize = 4096;
+    tiny.blocksPerBuffer = 4;
+    tiny.maxBuffers = 2;  // 32 KB
+    BlockCache smallCache(tiny);
+    DelayedChunkStorage slowLts(exec, lts, sim::msec(10));
+    auto cfg = fastConfig();
+    cfg.readPipeline.readahead = false;  // isolate coalescing from prefetch
+    auto c = std::make_unique<SegmentContainer>(exec, 1, env(), 1, slowLts, smallCache, cfg);
+    ASSERT_TRUE(c->start().isOk());
+    c->createSegment(kSeg, "s");
+    exec.runUntilIdle();
+
+    appendSync(*c, kSeg, std::string(16000, 'A'));
+    exec.runFor(sim::sec(1));  // flush the 'A' region to LTS
+    appendSync(*c, kSeg, std::string(16000, 'B'));
+    exec.runFor(sim::sec(1));  // cache policy evicts the 'A' region
+
+    uint64_t readsBefore = slowLts.readOps();
+    uint64_t coalescedBefore = exec.metrics().counter("store.read.coalesced").value();
+    constexpr int kReaders = 8;
+    std::vector<sim::Future<ReadResult>> futs;
+    for (int i = 0; i < kReaders; ++i) futs.push_back(c->read(kSeg, 0, 100));
+    exec.runUntilIdle();
+
+    for (auto& f : futs) {
+        ASSERT_TRUE(f.isReady());
+        ASSERT_TRUE(f.result().isOk()) << f.result().status().toString();
+        ASSERT_FALSE(f.result().value().data.empty());
+        EXPECT_EQ(f.result().value().data[0], 'A');
+    }
+    EXPECT_EQ(slowLts.readOps() - readsBefore, 1u);
+    EXPECT_EQ(exec.metrics().counter("store.read.coalesced").value() - coalescedBefore,
+              static_cast<uint64_t>(kReaders - 1));
+}
+
+TEST_F(ContainerFixture, PrefetchNeverEvictsUnflushedTail) {
+    // A catch-up reader with readahead on races through a flushed backlog
+    // while an unflushed tail sits in cache. The prefetch budget/utilization
+    // guard plus the watermark eviction rule must keep the tail resident:
+    // the tail read is a cache hit (it CANNOT come from LTS — no chunks).
+    BlockCache::Config tiny;
+    tiny.blockSize = 4096;
+    tiny.blocksPerBuffer = 4;
+    tiny.maxBuffers = 2;  // 32 KB, much smaller than the backlog
+    BlockCache smallCache(tiny);
+    auto cfg = fastConfig();
+    cfg.readPipeline.readahead = true;
+    cfg.readPipeline.prefetchFetchBytes = 8192;
+    cfg.readPipeline.prefetchWindows = 2;
+    cfg.readPipeline.sequentialStreak = 1;
+    auto c = std::make_unique<SegmentContainer>(exec, 1, env(), 1, lts, smallCache, cfg);
+    ASSERT_TRUE(c->start().isOk());
+    c->createSegment(kSeg, "s");
+    exec.runUntilIdle();
+
+    constexpr int64_t kBacklog = 64000;
+    appendSync(*c, kSeg, std::string(kBacklog, 'A'));
+    exec.runFor(sim::sec(1));  // backlog flushed to LTS, mostly evicted
+    ASSERT_EQ(c->getInfo(kSeg).value().storageLength, kBacklog);
+    appendSync(*c, kSeg, std::string(8000, 'B'));  // unflushed tail (no runFor)
+
+    // Catch up sequentially through the backlog; readahead kicks in.
+    int64_t offset = 0;
+    while (offset < kBacklog) {
+        Bytes got = readSync(*c, kSeg, offset, 4000);
+        ASSERT_FALSE(got.empty());
+        for (uint8_t b : got) ASSERT_EQ(b, 'A');
+        offset += static_cast<int64_t>(got.size());
+    }
+    EXPECT_GT(exec.metrics().counter("store.prefetch.issued").value(), 0u);
+
+    // The tail must still be served from cache: no LTS read can satisfy it
+    // (nothing above the watermark has chunks), so success == residency.
+    uint64_t ltsReadsBefore = lts.readOps();
+    Bytes tail = readSync(*c, kSeg, kBacklog, 4000);
+    ASSERT_FALSE(tail.empty());
+    for (uint8_t b : tail) ASSERT_EQ(b, 'B');
+    EXPECT_EQ(lts.readOps(), ltsReadsBefore);
+}
+
+TEST_F(ContainerFixture, LegacyReadPathStillServesLtsReads) {
+    // Ablation flag off: the serial fetch-retry path must still work.
+    BlockCache::Config tiny;
+    tiny.blockSize = 4096;
+    tiny.blocksPerBuffer = 4;
+    tiny.maxBuffers = 2;
+    BlockCache smallCache(tiny);
+    auto cfg = fastConfig();
+    cfg.readPipeline.enabled = false;
+    auto c = std::make_unique<SegmentContainer>(exec, 1, env(), 1, lts, smallCache, cfg);
+    ASSERT_TRUE(c->start().isOk());
+    c->createSegment(kSeg, "s");
+    exec.runUntilIdle();
+    appendSync(*c, kSeg, std::string(16000, 'A'));
+    exec.runFor(sim::sec(1));
+    appendSync(*c, kSeg, std::string(16000, 'B'));
+    exec.runFor(sim::sec(1));
+    Bytes head = readSync(*c, kSeg, 0, 100);
+    ASSERT_FALSE(head.empty());
+    EXPECT_EQ(head[0], 'A');
+}
+
 TEST_F(ContainerFixture, OfflineContainerRejectsEverything) {
     auto c = makeContainer(1, fastConfig());
     c->createSegment(kSeg, "s");

@@ -116,6 +116,57 @@ TEST_F(ReadIndexFixture, InsertFromStorageDoesNotOverwriteIndexed) {
     EXPECT_EQ(hit->data, seq(50, 99));  // original entry intact
 }
 
+TEST_F(ReadIndexFixture, InsertFromStorageTrimsAgainstFloorEntry) {
+    // Pre-existing entry [50, 100). A fetch that lands [0, 80) overlaps it
+    // from below: only the gap [0, 50) may be indexed. (Regression: the old
+    // code trimmed only against the ceiling entry, so the overlapping tail
+    // of the floor entry double-indexed bytes 50..79.)
+    ASSERT_TRUE(index.insertFromStorage(kSeg, 50, BytesView(seq(50, 50))).isOk());
+    ASSERT_EQ(index.indexedBytes(), 50u);
+    ASSERT_TRUE(index.insertFromStorage(kSeg, 0, BytesView(seq(80))).isOk());
+    EXPECT_EQ(index.indexedBytes(), 100u);  // not 130: no double-indexing
+
+    auto head = index.read(kSeg, 0, 50, 100, 0);
+    auto* hitHead = std::get_if<ReadHit>(&head.value());
+    ASSERT_NE(hitHead, nullptr);
+    EXPECT_EQ(hitHead->data, seq(50));
+    auto tail = index.read(kSeg, 50, 50, 100, 0);
+    auto* hitTail = std::get_if<ReadHit>(&tail.value());
+    ASSERT_NE(hitTail, nullptr);
+    EXPECT_EQ(hitTail->data, seq(50, 50));
+}
+
+TEST_F(ReadIndexFixture, InsertFromStorageStartingInsideFloorEntry) {
+    // Existing [0, 60); a fetch [40, 100) starts inside it. Bytes 40..59
+    // must be skipped, only [60, 100) indexed.
+    ASSERT_TRUE(index.insertFromStorage(kSeg, 0, BytesView(seq(60))).isOk());
+    ASSERT_TRUE(index.insertFromStorage(kSeg, 40, BytesView(seq(60, 40))).isOk());
+    EXPECT_EQ(index.indexedBytes(), 100u);
+    auto outcome = index.read(kSeg, 60, 40, 100, 0);
+    auto* hit = std::get_if<ReadHit>(&outcome.value());
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->data, seq(40, 60));
+}
+
+TEST_F(ReadIndexFixture, InsertFromStorageFillsGapsAroundExistingEntry) {
+    // Existing [40, 60); a fetch [0, 100) straddles it. Both gaps fill,
+    // the resident entry stays, and every byte is indexed exactly once.
+    ASSERT_TRUE(index.insertFromStorage(kSeg, 40, BytesView(seq(20, 40))).isOk());
+    ASSERT_TRUE(index.insertFromStorage(kSeg, 0, BytesView(seq(100))).isOk());
+    EXPECT_EQ(index.indexedBytes(), 100u);
+    int64_t offset = 0;
+    Bytes all;
+    while (offset < 100) {
+        auto outcome = index.read(kSeg, offset, 100 - offset, 100, 0);
+        auto* hit = std::get_if<ReadHit>(&outcome.value());
+        ASSERT_NE(hit, nullptr);
+        ASSERT_FALSE(hit->data.empty());
+        offset += static_cast<int64_t>(hit->data.size());
+        all.insert(all.end(), hit->data.begin(), hit->data.end());
+    }
+    EXPECT_EQ(all, seq(100));
+}
+
 TEST_F(ReadIndexFixture, TruncatedReadRejected) {
     index.append(kSeg, 0, BytesView(seq(100)));
     auto outcome = index.read(kSeg, 10, 10, 100, /*startOffset=*/50);
