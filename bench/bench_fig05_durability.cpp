@@ -8,6 +8,7 @@
 // pays a large latency penalty at moderate rates; (b) 16 segments —
 // Pravega and Kafka(no flush) both reach ~1M events/s.
 #include "bench/harness/adapters.h"
+#include "bench/harness/detection.h"
 #include "bench/harness/report.h"
 
 using namespace pravega;
@@ -73,5 +74,24 @@ int main() {
     sweepPravega(report, "pravega-flush/16seg", 16, true);
     sweepKafka(report, "kafka-noflush/16part", 16, false);
     sweepKafka(report, "kafka-flush/16part", 16, true);
+
+    if (chaosMode()) {
+        report.section("Figure 5c: write path under bookie chaos (BENCH_CHAOS=1)",
+                       "durable writes with bookie crash/restart faults mid-window, "
+                       "detection scored against the chaos timeline");
+        DetectionScenario sc;
+        sc.series = "pravega-flush/bookie-chaos";
+        sc.options = detectionClusterOptions(/*segments=*/8);
+        sc.workload = workload(smoke() ? 20e3 : 50e3);
+        sc.workload.warmup = sim::msec(200);
+        sc.workload.window = smoke() ? sim::msec(1600) : sim::msec(2200);
+        sc.chaos = cluster::ChaosSchedule::Config{};
+        sc.chaos->seed = 0xF05C;
+        sc.chaos->networkFaults = false;  // bookie crash/restart only
+        sc.chaos->start = sim::msec(700);
+        sc.chaos->horizon = smoke() ? sim::msec(900) : sim::msec(1400);
+        sc.chaos->faults = smoke() ? 2 : 4;
+        runDetectionScenario(report, sc);
+    }
     return 0;
 }

@@ -6,6 +6,7 @@
 // dispatcher pipeline; (b) 16 segments — Pulsar's read throughput drops
 // sharply; Kafka/Pravega latency grows at medium-high rates.
 #include "bench/harness/adapters.h"
+#include "bench/harness/detection.h"
 #include "bench/harness/report.h"
 
 using namespace pravega;
@@ -92,5 +93,26 @@ int main() {
     sweepPravega(report, "pravega/16seg", 16);
     sweepKafka(report, "kafka/16part", 16);
     sweepPulsar(report, "pulsar/16part", 16);
+
+    if (chaosMode()) {
+        report.section("Figure 8c: tail reads under partition chaos (BENCH_CHAOS=1)",
+                       "store<->bookie partitions mid-window; the write-path "
+                       "detectors flag the stalls feeding the tail readers");
+        DetectionScenario sc;
+        sc.series = "pravega/partition-chaos";
+        sc.options = detectionClusterOptions(/*segments=*/4);
+        sc.options.numReaders = 4;
+        sc.workload = workload(smoke() ? 15e3 : 50e3);
+        sc.workload.warmup = sim::msec(200);
+        sc.workload.window = smoke() ? sim::msec(1600) : sim::msec(2200);
+        sc.chaos = cluster::ChaosSchedule::Config{};
+        sc.chaos->seed = 0xF08C;
+        sc.chaos->bookieFaults = false;
+        sc.chaos->degradeFaults = false;  // partitions only
+        sc.chaos->start = sim::msec(700);
+        sc.chaos->horizon = smoke() ? sim::msec(900) : sim::msec(1400);
+        sc.chaos->faults = smoke() ? 2 : 4;
+        runDetectionScenario(report, sc);
+    }
     return 0;
 }

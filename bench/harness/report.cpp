@@ -67,6 +67,11 @@ bool smoke() {
     return v != nullptr && v[0] == '1';
 }
 
+bool chaosMode() {
+    const char* v = std::getenv("BENCH_CHAOS");
+    return v != nullptr && v[0] == '1';
+}
+
 WorkloadConfig shrinkForSmoke(WorkloadConfig cfg) {
     if (!smoke()) return cfg;
     cfg.warmup = sim::msec(100);
@@ -193,6 +198,10 @@ void Report::note(const std::string& text) {
     notes_.push_back(text);
 }
 
+void Report::addDetectionRun(const std::string& runJson) {
+    detectionRuns_.push_back(runJson);
+}
+
 std::string Report::finish() {
     std::string dir;
     if (const char* env = std::getenv("BENCH_OUT_DIR"); env != nullptr && env[0] != '\0') {
@@ -238,7 +247,16 @@ std::string Report::finish() {
         out += jsonEscape(notes_[i]);
         out += "\"";
     }
-    out += "]}\n";
+    out += "]";
+    if (!detectionRuns_.empty()) {
+        out += ",\"detection\":{\"runs\":[";
+        for (size_t i = 0; i < detectionRuns_.size(); ++i) {
+            if (i > 0) out += ",";
+            out += detectionRuns_[i];
+        }
+        out += "]}";
+    }
+    out += "}\n";
 
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {

@@ -31,6 +31,11 @@ namespace pravega::bench {
 /// sweep point each so CI can validate every binary end-to-end in seconds.
 bool smoke();
 
+/// True when BENCH_CHAOS=1 in the environment: figure benches that support
+/// it add a chaos+detection sweep (faults injected mid-window, a
+/// detect::Monitor scoring alarms against the chaos ground truth).
+bool chaosMode();
+
 /// Shrinks an open-loop workload for smoke runs: sub-second window, short
 /// warmup, capped events and rate. Identity when smoke() is false.
 WorkloadConfig shrinkForSmoke(WorkloadConfig cfg);
@@ -71,6 +76,12 @@ public:
     /// Prints "# text" and records it in the JSON notes array.
     void note(const std::string& text);
 
+    /// Appends one detection run (a pre-rendered JSON object from
+    /// detect::detectionRunJson) to the report's "detection" section:
+    ///   "detection": {"runs": [ {...}, ... ]}
+    /// The section is only emitted when at least one run was added.
+    void addDetectionRun(const std::string& runJson);
+
     /// Writes BENCH_<name>.json; idempotent. Returns the path written.
     std::string finish();
 
@@ -93,6 +104,7 @@ private:
     bool finished_ = false;
     std::vector<Row> rows_;
     std::vector<std::string> notes_;
+    std::vector<std::string> detectionRuns_;  // pre-rendered JSON objects
 };
 
 }  // namespace pravega::bench

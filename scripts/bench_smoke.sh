@@ -20,7 +20,9 @@ for bin in "${BENCH_DIR}"/bench_*; do
   [[ -f "${bin}" && -x "${bin}" ]] || continue
   name="$(basename "${bin}")"
   echo "== smoke: ${name} =="
-  BENCH_SMOKE=1 BENCH_OUT_DIR="${OUT_DIR}" "${bin}" > "${OUT_DIR}/${name}.out" 2>&1 \
+  # BENCH_CHAOS=1 also exercises the optional chaos+detection sections
+  # (fig5c/fig8c) and the detection JSON schema path in every bench.
+  BENCH_SMOKE=1 BENCH_CHAOS=1 BENCH_OUT_DIR="${OUT_DIR}" "${bin}" > "${OUT_DIR}/${name}.out" 2>&1 \
     || { echo "${name} FAILED:" >&2; tail -30 "${OUT_DIR}/${name}.out" >&2; exit 1; }
   ran=$((ran + 1))
 done
@@ -55,6 +57,31 @@ print(f'fig12 ablation OK: single-reader catch-up '
       f'on={on["values"]["catchup_mbps"]:.1f} MB/s '
       f'off={off["values"]["catchup_mbps"]:.1f} MB/s, '
       f'prefetch.issued={on["metrics"]["store.prefetch.issued"]}')
+PY
+
+echo "== fig14 detection: chaos-scored recall/precision acceptance =="
+python3 - "${OUT_DIR}/BENCH_fig14_detection.json" <<'PY'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+runs = {r["series"]: r for r in d["detection"]["runs"]}
+for series in ("control/default", "bookie-crash/default", "partition/default"):
+    assert series in runs, f"missing detection run {series}"
+
+control = runs["control/default"]
+assert not control["alarms"], \
+    f'control run alarmed: {control["alarms"]}'
+assert all(g["passed"] for g in control["guardrails"]), "control guardrail breached"
+
+for series in ("bookie-crash/default", "partition/default"):
+    s = runs[series]["scores"]
+    assert s["recall"] >= 0.9, f'{series} recall {s["recall"]} < 0.9'
+    assert s["precision"] >= 0.9, f'{series} precision {s["precision"]} < 0.9'
+    assert s["faults"] > 0, f"{series} injected no faults"
+
+print("fig14 detection OK: " + ", ".join(
+    f'{s}={runs[s]["scores"]["recall"]:.2f}R/{runs[s]["scores"]["precision"]:.2f}P'
+    for s in ("bookie-crash/default", "partition/default")))
 PY
 
 echo "== determinism: bench_micro_core twice, byte-identical output =="

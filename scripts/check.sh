@@ -1,22 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + ctest in the default configuration, then the
 # same suite under AddressSanitizer and UndefinedBehaviorSanitizer via the
-# PRAVEGA_SANITIZE CMake option. Each configuration gets its own build tree.
+# PRAVEGA_SANITIZE CMake option, then a focused ThreadSanitizer pass over
+# the chaos/detect/obs suites (the sim is single-threaded by design — tsan
+# documents that the detection layer introduced no hidden threading). Each
+# configuration gets its own build tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 
 run_suite() {
-  local name="$1" sanitize="$2"
+  local name="$1" sanitize="$2" filter="${3:-}"
   local dir="build-${name}"
   echo "== ${name}: configure + build (${dir}) =="
   cmake -B "${dir}" -S . -DPRAVEGA_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}"
-  echo "== ${name}: ctest =="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  echo "== ${name}: ctest ${filter:+-R ${filter}} =="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" ${filter:+-R "${filter}"})
 }
 
 run_suite plain ""
 run_suite asan address
 run_suite ubsan undefined
+run_suite tsan thread "chaos_test|detect_test|obs_test"
 echo "All checks passed."

@@ -26,6 +26,82 @@ def check_number_map(path, obj, where):
             fail(path, f"{where}[{key!r}] is not a number: {value!r}")
 
 
+def check_number(path, obj, where):
+    if isinstance(obj, bool) or not isinstance(obj, (int, float)):
+        fail(path, f"{where} is not a number: {obj!r}")
+
+
+def check_detection(path, det):
+    """The optional "detection" section: chaos-scored detector runs."""
+    if not isinstance(det, dict) or "runs" not in det:
+        fail(path, 'detection must be an object with a "runs" array')
+    if not isinstance(det["runs"], list) or not det["runs"]:
+        fail(path, "detection.runs must be a non-empty array")
+    for i, run in enumerate(det["runs"]):
+        where = f"detection.runs[{i}]"
+        if not isinstance(run, dict):
+            fail(path, f"{where} must be an object")
+        for key in ("series", "ticks", "ground_truth", "alarms", "guardrails",
+                    "scores"):
+            if key not in run:
+                fail(path, f"{where} missing key {key!r}")
+        if not isinstance(run["series"], str) or not run["series"]:
+            fail(path, f"{where}.series must be a non-empty string")
+        check_number(path, run["ticks"], f"{where}.ticks")
+
+        truth = run["ground_truth"]
+        if truth is not None:
+            if not isinstance(truth, dict) or "windows" not in truth:
+                fail(path, f"{where}.ground_truth must be null or have windows")
+            for j, w in enumerate(truth["windows"]):
+                for key in ("class", "start_ms", "end_ms"):
+                    if key not in w:
+                        fail(path, f"{where}.ground_truth.windows[{j}] missing {key!r}")
+                check_number(path, w["start_ms"],
+                             f"{where}.ground_truth.windows[{j}].start_ms")
+                check_number(path, w["end_ms"],
+                             f"{where}.ground_truth.windows[{j}].end_ms")
+
+        if not isinstance(run["alarms"], list):
+            fail(path, f"{where}.alarms must be an array")
+        for j, a in enumerate(run["alarms"]):
+            for key in ("t_ms", "detector", "metric", "kind", "value", "score",
+                        "cleared_ms"):
+                if key not in a:
+                    fail(path, f"{where}.alarms[{j}] missing key {key!r}")
+            check_number(path, a["t_ms"], f"{where}.alarms[{j}].t_ms")
+            if a["kind"] not in ("spike", "drop", "collapse", "slo"):
+                fail(path, f"{where}.alarms[{j}].kind is {a['kind']!r}")
+
+        if not isinstance(run["guardrails"], list):
+            fail(path, f"{where}.guardrails must be an array")
+        for j, g in enumerate(run["guardrails"]):
+            for key in ("rule", "passed", "evaluations", "violations", "episodes"):
+                if key not in g:
+                    fail(path, f"{where}.guardrails[{j}] missing key {key!r}")
+            if not isinstance(g["passed"], bool):
+                fail(path, f"{where}.guardrails[{j}].passed must be a boolean")
+
+        scores = run["scores"]
+        if not isinstance(scores, dict):
+            fail(path, f"{where}.scores must be an object")
+        for key in ("faults", "detected", "total_alarms", "matched_alarms",
+                    "false_positives", "recall", "precision", "mean_detect_ms",
+                    "max_detect_ms", "per_class"):
+            if key not in scores:
+                fail(path, f"{where}.scores missing key {key!r}")
+        for key in ("recall", "precision"):
+            check_number(path, scores[key], f"{where}.scores.{key}")
+            if not 0.0 <= scores[key] <= 1.0:
+                fail(path, f"{where}.scores.{key} out of [0,1]: {scores[key]}")
+        if not isinstance(scores["per_class"], list):
+            fail(path, f"{where}.scores.per_class must be an array")
+        for j, c in enumerate(scores["per_class"]):
+            for key in ("class", "faults", "detected", "recall"):
+                if key not in c:
+                    fail(path, f"{where}.scores.per_class[{j}] missing {key!r}")
+
+
 def validate(path):
     with open(path, "r", encoding="utf-8") as f:
         try:
@@ -71,7 +147,12 @@ def validate(path):
         not isinstance(n, str) for n in doc["notes"]
     ):
         fail(path, "notes must be an array of strings")
-    print(f"{path}: OK ({len(doc['rows'])} rows)")
+    runs = 0
+    if "detection" in doc:
+        check_detection(path, doc["detection"])
+        runs = len(doc["detection"]["runs"])
+    suffix = f", {runs} detection runs" if runs else ""
+    print(f"{path}: OK ({len(doc['rows'])} rows{suffix})")
 
 
 def main():

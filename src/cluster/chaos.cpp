@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "common/logging.h"
 
@@ -35,20 +36,21 @@ void ChaosSchedule::generate() {
     enum class Cls { Bookie, PartitionSB, Degrade, Store, LtsOut, LtsSlow };
 
     const sim::Duration slot = cfg_.horizon / std::max(1, cfg_.faults);
+    std::vector<int> crashedBookies;
     for (int i = 0; i < cfg_.faults; ++i) {
         std::vector<Cls> classes;
         if (cfg_.bookieFaults && ccfg.bookies > 0) classes.push_back(Cls::Bookie);
         if (cfg_.networkFaults) {
-            classes.push_back(Cls::PartitionSB);
-            classes.push_back(Cls::Degrade);
+            if (cfg_.partitionFaults) classes.push_back(Cls::PartitionSB);
+            if (cfg_.degradeFaults) classes.push_back(Cls::Degrade);
         }
         if (cfg_.storeFaults && plannedStoreCrashes_ < cfg_.maxStoreCrashes &&
             plannedStoreCrashes_ + 1 < ccfg.segmentStores) {
             classes.push_back(Cls::Store);
         }
         if (cfg_.ltsFaults) {
-            classes.push_back(Cls::LtsOut);
-            classes.push_back(Cls::LtsSlow);
+            if (cfg_.ltsOutageFaults) classes.push_back(Cls::LtsOut);
+            if (cfg_.ltsSlowdownFaults) classes.push_back(Cls::LtsSlow);
         }
         if (classes.empty()) break;
 
@@ -65,8 +67,23 @@ void ChaosSchedule::generate() {
         Cls cls = classes[rng.nextBounded(classes.size())];
         switch (cls) {
             case Cls::Bookie: {
-                int bookie = static_cast<int>(rng.nextBounded(
-                    static_cast<uint64_t>(ccfg.bookies)));
+                // Prefer bookies not crashed earlier in this schedule: once a
+                // crash triggers ensemble changes, the evicted bookie carries
+                // no traffic, so re-crashing it would exercise (and surface)
+                // nothing. Cycle through all of them before repeating.
+                std::vector<int> candidates;
+                for (int b = 0; b < ccfg.bookies; ++b) {
+                    if (std::find(crashedBookies.begin(), crashedBookies.end(), b) ==
+                        crashedBookies.end()) {
+                        candidates.push_back(b);
+                    }
+                }
+                if (candidates.empty()) {
+                    crashedBookies.clear();
+                    for (int b = 0; b < ccfg.bookies; ++b) candidates.push_back(b);
+                }
+                int bookie = candidates[rng.nextBounded(candidates.size())];
+                crashedBookies.push_back(bookie);
                 timeline_.push_back({at, ChaosEvent::Kind::BookieCrash, bookie, -1, window, 0});
                 timeline_.push_back(
                     {at + window, ChaosEvent::Kind::BookieRestart, bookie, -1, 0, 0});
@@ -187,6 +204,60 @@ sim::TimePoint ChaosSchedule::endTime() const {
     sim::TimePoint end = cfg_.start;
     for (const ChaosEvent& ev : timeline_) end = std::max(end, ev.at + ev.duration);
     return end;
+}
+
+std::vector<detect::FaultWindow> ChaosSchedule::faultWindows() const {
+    std::vector<detect::FaultWindow> out;
+    for (const ChaosEvent& ev : timeline_) {
+        switch (ev.kind) {
+            case ChaosEvent::Kind::BookieCrash:
+            case ChaosEvent::Kind::Partition:
+            case ChaosEvent::Kind::LinkDegrade:
+            case ChaosEvent::Kind::LtsOutage:
+            case ChaosEvent::Kind::LtsSlowdown:
+                out.push_back({chaosKindName(ev.kind), ev.a, ev.b, ev.at,
+                               ev.at + ev.duration});
+                break;
+            case ChaosEvent::Kind::StoreCrash:
+                // Permanent: the window runs to the end of the schedule.
+                out.push_back({chaosKindName(ev.kind), ev.a, ev.b, ev.at, endTime()});
+                break;
+            case ChaosEvent::Kind::BookieRestart:
+            case ChaosEvent::Kind::Heal:
+            case ChaosEvent::Kind::LtsRestore:
+                break;  // closers; already folded into the opener's window
+        }
+    }
+    // timeline_ is at-sorted, so windows come out start-sorted already.
+    return out;
+}
+
+std::string ChaosSchedule::groundTruthJson() const {
+    char buf[64];
+    std::string out = "{\"seed\":";
+    out += std::to_string(cfg_.seed);
+    std::snprintf(buf, sizeof(buf), ",\"start_ms\":%.6g", sim::toMillis(cfg_.start));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"horizon_ms\":%.6g", sim::toMillis(cfg_.horizon));
+    out += buf;
+    out += ",\"windows\":[";
+    const std::vector<detect::FaultWindow> windows = faultWindows();
+    for (size_t i = 0; i < windows.size(); ++i) {
+        const detect::FaultWindow& w = windows[i];
+        if (i > 0) out += ",";
+        out += "{\"class\":\"";
+        out += w.klass;
+        out += "\",\"a\":";
+        out += std::to_string(w.a);
+        out += ",\"b\":";
+        out += std::to_string(w.b);
+        std::snprintf(buf, sizeof(buf), ",\"start_ms\":%.6g", sim::toMillis(w.start));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"end_ms\":%.6g}", sim::toMillis(w.end));
+        out += buf;
+    }
+    out += "]}";
+    return out;
 }
 
 }  // namespace pravega::cluster

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cluster/pravega_cluster.h"
+#include "detect/scoring.h"
 #include "sim/random.h"
 #include "sim/time.h"
 
@@ -62,11 +63,18 @@ public:
         /// closing events — restart/heal — ride in the same slot).
         int faults = 6;
 
-        // Which fault classes the generator may draw.
+        // Which fault classes the generator may draw. The coarse switches
+        // (networkFaults, ltsFaults) gate whole groups for back-compat; the
+        // fine flags below select within a group, so e.g. a partition-only
+        // schedule is `networkFaults=true, degradeFaults=false`.
         bool bookieFaults = true;
         bool networkFaults = true;
         bool storeFaults = false;  // store crashes are permanent; opt-in
         bool ltsFaults = false;    // requires ClusterConfig::faultInjectLts
+        bool partitionFaults = true;    // within networkFaults
+        bool degradeFaults = true;      // within networkFaults
+        bool ltsOutageFaults = true;    // within ltsFaults
+        bool ltsSlowdownFaults = true;  // within ltsFaults
 
         /// Cap on how many stores may crash over the whole schedule (the
         /// generator additionally never crashes the last live store).
@@ -91,6 +99,18 @@ public:
 
     /// Virtual time by which every fault window has closed.
     sim::TimePoint endTime() const;
+
+    /// Ground-truth fault intervals for detection scoring: opener events
+    /// paired with their closers (crash→restart, partition→heal,
+    /// slowdown→restore; degrades and outages carry their own duration; a
+    /// store crash is permanent and ends at endTime()). Ordered by start
+    /// time; pure function of the generated timeline.
+    std::vector<detect::FaultWindow> faultWindows() const;
+
+    /// Deterministic JSON of the ground truth for BENCH_*.json:
+    /// {"seed":..,"start_ms":..,"horizon_ms":..,"windows":[
+    ///   {"class":..,"a":..,"b":..,"start_ms":..,"end_ms":..}, ...]}.
+    std::string groundTruthJson() const;
 
 private:
     void generate();

@@ -1,0 +1,82 @@
+#include "detect/detectors.h"
+
+namespace pravega::detect {
+
+const char* alarmKindName(AlarmKind kind) {
+    switch (kind) {
+        case AlarmKind::Spike: return "spike";
+        case AlarmKind::Drop: return "drop";
+        case AlarmKind::Collapse: return "collapse";
+        case AlarmKind::Slo: return "slo";
+    }
+    return "unknown";
+}
+
+std::optional<Fire> EwmaDetector::update(double x) {
+    if (!std::isfinite(x)) return std::nullopt;
+    if (base_.samples == 0) {
+        base_.update(x);
+        return std::nullopt;
+    }
+    double z = base_.z(x);
+    std::optional<Fire> fired;
+    if (base_.samples >= cfg_.minSamples) {
+        if (!active_ && (z > cfg_.k || (cfg_.twoSided && z < -cfg_.k))) {
+            active_ = true;
+            fired = Fire{z > 0 ? AlarmKind::Spike : AlarmKind::Drop, z};
+        } else if (active_ && std::fabs(z) < cfg_.rearmK) {
+            active_ = false;
+        }
+    }
+    // Freeze the baseline while in alarm so a long fault is not absorbed.
+    if (!active_) base_.update(x);
+    return fired;
+}
+
+std::optional<Fire> CusumDetector::update(double x) {
+    if (!std::isfinite(x)) return std::nullopt;
+    if (base_.samples == 0) {
+        base_.update(x);
+        return std::nullopt;
+    }
+    double z = base_.z(x);
+    std::optional<Fire> fired;
+    if (base_.samples >= cfg_.minSamples) {
+        gPos_ = std::max(0.0, gPos_ + z - cfg_.k);
+        gNeg_ = cfg_.twoSided ? std::max(0.0, gNeg_ - z - cfg_.k) : 0.0;
+        if (!active_ && (gPos_ > cfg_.h || gNeg_ > cfg_.h)) {
+            active_ = true;
+            fired = Fire{gPos_ >= gNeg_ ? AlarmKind::Spike : AlarmKind::Drop,
+                         std::max(gPos_, gNeg_)};
+            gPos_ = gNeg_ = 0;  // restart accumulation after the decision
+        } else if (active_ && std::fabs(z) < 1.0) {
+            active_ = false;
+            gPos_ = gNeg_ = 0;
+        }
+    }
+    if (!active_) base_.update(x);
+    return fired;
+}
+
+std::optional<Fire> RateCollapseDetector::update(double x) {
+    if (!std::isfinite(x)) return std::nullopt;
+    bool armed = base_.samples >= cfg_.minSamples && base_.mean >= cfg_.minBaseline;
+    bool collapsed = armed && x < cfg_.collapseFraction * base_.mean;
+    std::optional<Fire> fired;
+    if (collapsed) {
+        ++streak_;
+        if (!active_ && streak_ >= cfg_.consecutive) {
+            active_ = true;
+            fired = Fire{AlarmKind::Collapse, static_cast<double>(streak_)};
+        }
+    } else {
+        streak_ = 0;
+        active_ = false;
+        // Only healthy samples feed the baseline: the collapse itself must
+        // not drag the expected rate toward zero.
+        base_.update(x);
+    }
+    return fired;
+}
+
+}  // namespace pravega::detect

@@ -1,0 +1,200 @@
+// Streaming failure detectors over scalar metric samples.
+//
+// Each detector consumes one sample per sampling tick (the detect::Monitor
+// extracts samples from the obs:: registry on a virtual-time cadence) and
+// fires at most once per excursion: a detector that has fired stays "active"
+// until the signal returns to baseline, so a 100-tick fault produces one
+// alarm with an onset time — not 100 alarms. Baselines are frozen while a
+// detector is active so a long fault cannot be absorbed into the mean.
+//
+// Three detector shapes, following "Online detection of failures generated
+// by storage simulator" (arXiv:2101.07100):
+//  - EwmaDetector:  EWMA mean/variance residual test (|z| > k sigmas).
+//  - CusumDetector: two-sided standardized CUSUM change-point test.
+//  - RateCollapseDetector: an active counter going flat (e.g. wal appends
+//    during a partition) for N consecutive samples.
+//
+// All state is plain arithmetic over deterministic samples, so same-seed
+// runs fire byte-identical alarm sequences.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include "sim/time.h"
+
+namespace pravega::detect {
+
+enum class AlarmKind { Spike, Drop, Collapse, Slo };
+
+const char* alarmKindName(AlarmKind kind);
+
+/// One detection event: onset time, source, and the evidence that fired it.
+/// `clearedAt` is -1 while the excursion is still in progress.
+struct Alarm {
+    sim::TimePoint at = 0;
+    std::string detector;  // "ewma" | "cusum" | "rate-collapse" | "slo"
+    std::string metric;    // probe metric (or guardrail rule text)
+    AlarmKind kind = AlarmKind::Spike;
+    double value = 0;  // the sample that fired
+    double score = 0;  // z / CUSUM statistic / zero-streak / bound excess
+    sim::TimePoint clearedAt = -1;
+};
+
+/// Returned by a detector when a NEW alarm fires at this sample.
+struct Fire {
+    AlarmKind kind;
+    double score;
+};
+
+/// Shared EWMA mean/variance baseline with a sigma floor. The floor is the
+/// max of an absolute term and a term relative to |mean|, so metrics that
+/// are deterministic in steady state (zero variance) do not alarm on the
+/// first ulp of jitter, and zero-baseline metrics (drop rates) need a real
+/// burst to reach k sigmas.
+struct EwmaBaseline {
+    double alpha = 0.1;
+    double minSigma = 1e-9;
+    double relMinSigma = 0.05;
+    // Winsorization: deviations are clamped to winsorK sigmas before they
+    // feed the mean/variance, so a single fault spike cannot inflate sigma
+    // enough to mask the next excursion. 0 disables clamping. With
+    // winsorUpOnly, only upward deviations are clamped (for one-sided
+    // upward detectors a low sample is benign and should correct the
+    // baseline at full weight).
+    double winsorK = 0;
+    bool winsorUpOnly = false;
+
+    double mean = 0;
+    double var = 0;
+    int samples = 0;
+
+    void update(double x) {
+        if (samples == 0) {
+            mean = x;
+        } else {
+            double d = x - mean;
+            if (winsorK > 0) {
+                double cap = winsorK * sigma();
+                d = winsorUpOnly ? std::min(d, cap) : std::clamp(d, -cap, cap);
+            }
+            mean += alpha * d;
+            var = (1.0 - alpha) * (var + alpha * d * d);
+        }
+        ++samples;
+    }
+    double sigma() const {
+        return std::max({std::sqrt(std::max(var, 0.0)), minSigma,
+                         relMinSigma * std::fabs(mean)});
+    }
+    double z(double x) const { return (x - mean) / sigma(); }
+};
+
+/// Residual test: fires when the standardized residual |z| exceeds `k`
+/// sigmas (upward only unless `twoSided`). Hysteresis: re-arms when |z|
+/// falls back under `rearmK`.
+class EwmaDetector {
+public:
+    struct Config {
+        double alpha = 0.1;
+        double k = 6.0;
+        double rearmK = 3.0;
+        int minSamples = 40;  // baseline warmup before arming
+        double minSigma = 1e-9;
+        double relMinSigma = 0.05;
+        double winsorK = 0;  // clamp baseline updates to +-winsorK sigmas
+        bool twoSided = true;
+    };
+
+    EwmaDetector() : EwmaDetector(Config()) {}
+    explicit EwmaDetector(Config cfg) : cfg_(cfg) {
+        base_.alpha = cfg.alpha;
+        base_.minSigma = cfg.minSigma;
+        base_.relMinSigma = cfg.relMinSigma;
+        base_.winsorK = cfg.winsorK;
+        base_.winsorUpOnly = !cfg.twoSided;
+    }
+
+    std::optional<Fire> update(double x);
+    bool active() const { return active_; }
+    double mean() const { return base_.mean; }
+    double sigma() const { return base_.sigma(); }
+
+private:
+    Config cfg_;
+    EwmaBaseline base_;
+    bool active_ = false;
+};
+
+/// Two-sided standardized CUSUM: g+ = max(0, g+ + z - k), g- symmetric;
+/// fires when either side exceeds `h`. Catches slow drifts that never
+/// individually exceed an EWMA residual threshold. On fire both statistics
+/// reset; the detector re-arms once the signal is back near baseline.
+class CusumDetector {
+public:
+    struct Config {
+        double alpha = 0.05;  // baseline smoothing (slower than EWMA's)
+        double k = 0.5;       // per-sample drift allowance, in sigmas
+        double h = 10.0;      // decision threshold, in sigmas
+        int minSamples = 40;
+        double minSigma = 1e-9;
+        double relMinSigma = 0.05;
+        double winsorK = 0;  // clamp baseline updates to +-winsorK sigmas
+        bool twoSided = true;
+    };
+
+    CusumDetector() : CusumDetector(Config()) {}
+    explicit CusumDetector(Config cfg) : cfg_(cfg) {
+        base_.alpha = cfg.alpha;
+        base_.minSigma = cfg.minSigma;
+        base_.relMinSigma = cfg.relMinSigma;
+        base_.winsorK = cfg.winsorK;
+        base_.winsorUpOnly = !cfg.twoSided;
+    }
+
+    std::optional<Fire> update(double x);
+    bool active() const { return active_; }
+    double statPos() const { return gPos_; }
+    double statNeg() const { return gNeg_; }
+
+private:
+    Config cfg_;
+    EwmaBaseline base_;
+    double gPos_ = 0;
+    double gNeg_ = 0;
+    bool active_ = false;
+};
+
+/// A counter going flat: once a baseline rate of at least `minBaseline` is
+/// established, `consecutive` successive samples below `collapseFraction`
+/// of that baseline fire a Collapse alarm. The baseline only absorbs
+/// healthy samples, so the collapse itself cannot drag it to zero.
+class RateCollapseDetector {
+public:
+    struct Config {
+        double alpha = 0.1;
+        double minBaseline = 10.0;     // arm only above this rate
+        double collapseFraction = 0.1;
+        int consecutive = 8;
+        int minSamples = 20;
+    };
+
+    RateCollapseDetector() : RateCollapseDetector(Config()) {}
+    explicit RateCollapseDetector(Config cfg) : cfg_(cfg) {
+        base_.alpha = cfg.alpha;
+    }
+
+    std::optional<Fire> update(double x);
+    bool active() const { return active_; }
+    double baseline() const { return base_.mean; }
+
+private:
+    Config cfg_;
+    EwmaBaseline base_;
+    int streak_ = 0;
+    bool active_ = false;
+};
+
+}  // namespace pravega::detect

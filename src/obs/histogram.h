@@ -55,6 +55,26 @@ public:
         max_ = 0;
     }
 
+    /// The histogram of samples recorded since `prev` was copied off this
+    /// histogram (bucket-wise difference). This is how windowed percentiles
+    /// are computed over a cumulative histogram: snapshot at t-W, delta at
+    /// t. `max` carries this histogram's lifetime max — an upper bound for
+    /// the window, never consulted by percentile queries while the delta
+    /// has samples. An unrelated or newer `prev` clamps to empty rather
+    /// than producing garbage counts.
+    LatencyHistogram deltaSince(const LatencyHistogram& prev) const {
+        LatencyHistogram d;
+        uint64_t n = 0;
+        for (size_t i = 0; i < kBuckets; ++i) {
+            d.buckets_[i] = buckets_[i] > prev.buckets_[i] ? buckets_[i] - prev.buckets_[i] : 0;
+            n += d.buckets_[i];
+        }
+        d.count_ = n;
+        d.sum_ = n > 0 && sum_ > prev.sum_ ? sum_ - prev.sum_ : 0;
+        d.max_ = n > 0 ? max_ : 0;
+        return d;
+    }
+
     /// Worst-case relative error of a percentile query: one bucket step.
     static constexpr double kBucketRelativeError = 0.125;
 

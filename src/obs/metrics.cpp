@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace pravega::obs {
@@ -72,8 +73,12 @@ double RateMeter::perSecond() const {
     advanceTo(now);
     uint64_t inWindow = 0;
     for (uint64_t v : ring_) inWindow += v;
-    sim::Duration span = std::min<sim::Duration>(window_, now - createdAt_);
-    if (span <= 0) return 0;
+    if (inWindow == 0) return 0;  // empty window: exactly zero, never 0/0
+    // Cold start: marks recorded moments after creation must not divide by
+    // a near-zero span and report an astronomically inflated rate (the
+    // failure detectors sample meters and would alarm on the garbage).
+    // The span floors at one bucket width — the meter's resolution.
+    sim::Duration span = std::clamp<sim::Duration>(now - createdAt_, bucketWidth_, window_);
     return static_cast<double>(inWindow) / sim::toSeconds(span);
 }
 

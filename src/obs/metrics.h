@@ -61,7 +61,10 @@ public:
     explicit RateMeter(NowFn now, sim::Duration window = sim::kSecond, size_t buckets = 10);
 
     void mark(uint64_t n = 1);
-    /// Rate over min(window, time since creation); 0 before any time passes.
+    /// Rate over clamp(time since creation, bucketWidth, window): an empty
+    /// window reads exactly 0, and a cold start (marks moments after
+    /// creation) divides by at least one bucket width instead of a
+    /// near-zero span — no NaN or inflated garbage rates.
     double perSecond() const;
     uint64_t total() const { return total_; }
     sim::Duration window() const { return window_; }

@@ -9,6 +9,7 @@
 // reproduce the identical fault log and the identical final state.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
@@ -17,6 +18,7 @@
 #include "client/event_reader.h"
 #include "cluster/chaos.h"
 #include "cluster/pravega_cluster.h"
+#include "detect/monitor.h"
 #include "obs/metrics.h"
 
 namespace pravega {
@@ -265,6 +267,76 @@ TEST(ChaosTest, BookieCrashMidTrafficContinuesViaEnsembleChange) {
     }
     EXPECT_EQ(static_cast<int>(t.read.size()), t.sent);
     checkInvariants(t);
+}
+
+TEST(ChaosTest, SloGuardrailFiresUnderPartitionAndHoldsWithoutFaults) {
+    // The same guardrail evaluated under the same traffic: partitioning two
+    // of the active ensemble's bookies must breach it — quorum (2 of 3)
+    // becomes unreachable, appends stall on the 100ms write timeout, and
+    // the ensemble change commits them late. (A single blackholed bookie
+    // would be quorum-masked and invisible.) The fault-free control run
+    // must keep the same rule green.
+    auto run = [](bool injectPartition) {
+        PravegaCluster cluster(chaosClusterConfig());
+        StreamConfig scfg;
+        scfg.initialSegments = 2;
+        EXPECT_TRUE(cluster.createStream("sc", "st", scfg).isOk());
+        auto writer = cluster.makeWriter("sc/st");
+
+        detect::Monitor monitor(cluster.executor());
+        monitor.addGuardrail("p99(trace.write.2_wal_commit_ns) < 50ms for 100ms");
+        monitor.start();
+
+        int sent = 0, acked = 0;
+        bool partitioned = false;
+        while (cluster.executor().now() < sim::sec(1)) {
+            if (injectPartition && !partitioned &&
+                cluster.executor().now() >= sim::msec(500)) {
+                partitioned = true;
+                // Blackhole the two busiest bookies (single-key traffic
+                // lands on one log, so these are two of its three ensemble
+                // members) from every store for 200ms.
+                auto bookies = cluster.bookies();
+                std::vector<size_t> order(bookies.size());
+                for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+                std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+                    return bookies[x]->storedBytes() > bookies[y]->storedBytes();
+                });
+                for (size_t v = 0; v < 2; ++v) {
+                    for (size_t s = 0; s < cluster.stores().size(); ++s) {
+                        cluster.network().partition(cluster.storeHost(s),
+                                                    cluster.bookieHost(order[v]));
+                    }
+                }
+                cluster.executor().schedule(sim::msec(200), [&cluster]() {
+                    cluster.network().healAll();
+                });
+            }
+            for (int i = 0; i < 10; ++i) {
+                std::string ev = "k#" + std::to_string(sent++);
+                writer->writeEvent("k", toBytes(ev), [&acked](Status s) {
+                    if (s.isOk()) ++acked;
+                });
+            }
+            writer->flush();
+            cluster.runFor(sim::msec(10));
+        }
+        monitor.stop();
+        cluster.runUntilIdle();
+        EXPECT_EQ(acked, sent);
+        return monitor.guardrailVerdicts().front();
+    };
+
+    detect::SloVerdict breached = run(/*injectPartition=*/true);
+    EXPECT_FALSE(breached.passed);
+    EXPECT_GE(breached.episodes, 1u);
+    EXPECT_GE(breached.firstViolation, sim::msec(500));
+    EXPECT_GT(breached.worst, 50.0);
+
+    detect::SloVerdict clean = run(/*injectPartition=*/false);
+    EXPECT_TRUE(clean.passed);
+    EXPECT_GT(clean.evaluations, 0u);
+    EXPECT_EQ(clean.episodes, 0u);
 }
 
 TEST(ChaosTest, LtsFaultsNeverAffectAcksAndTieringConverges) {

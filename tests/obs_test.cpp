@@ -66,6 +66,45 @@ TEST(ObsHistogramTest, MeanMaxCountAndReset) {
     EXPECT_DOUBLE_EQ(hist.percentileMs(99), 0.0);
 }
 
+TEST(ObsHistogramTest, DeltaSinceIsolatesWindowSamples) {
+    obs::LatencyHistogram hist;
+    // First epoch: 100 fast samples around 1ms.
+    for (int i = 0; i < 100; ++i) hist.record(sim::msec(1));
+    obs::LatencyHistogram snap = hist;
+
+    // Second epoch: 50 slow samples at 80ms. The cumulative histogram's p99
+    // stays dominated by the fast majority, but the WINDOW is all-slow.
+    for (int i = 0; i < 50; ++i) hist.record(sim::msec(80));
+    obs::LatencyHistogram delta = hist.deltaSince(snap);
+    EXPECT_EQ(delta.count(), 50u);
+    EXPECT_NEAR(delta.percentileMs(50), 80.0, 80.0 * obs::LatencyHistogram::kBucketRelativeError);
+    EXPECT_NEAR(delta.meanMs(), 80.0, 1e-9);
+    // Cumulative median is still the fast bucket — the delta really is a
+    // different distribution, not a rescaled copy.
+    EXPECT_LT(hist.percentileMs(50), 2.0);
+}
+
+TEST(ObsHistogramTest, DeltaSinceEmptyWindowAndClamping) {
+    obs::LatencyHistogram hist;
+    for (int i = 0; i < 10; ++i) hist.record(sim::msec(2));
+    obs::LatencyHistogram snap = hist;
+
+    // No new samples: the delta is empty and reads zero everywhere.
+    obs::LatencyHistogram empty = hist.deltaSince(snap);
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_DOUBLE_EQ(empty.percentileMs(99), 0.0);
+    EXPECT_DOUBLE_EQ(empty.meanMs(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.maxMs(), 0.0);
+
+    // A "newer" prev (more samples than *this) clamps to empty instead of
+    // wrapping around to garbage counts.
+    obs::LatencyHistogram ahead = hist;
+    ahead.record(sim::msec(2));
+    obs::LatencyHistogram clamped = hist.deltaSince(ahead);
+    EXPECT_EQ(clamped.count(), 0u);
+    EXPECT_DOUBLE_EQ(clamped.percentileMs(99), 0.0);
+}
+
 // ---------------------------------------------------------------- rate meter
 
 TEST(ObsRateMeterTest, RateFollowsVirtualTimeAndDecays) {
@@ -91,6 +130,52 @@ TEST(ObsRateMeterTest, RateFollowsVirtualTimeAndDecays) {
     meter.mark(300);
     exec.runFor(sim::msec(100));
     EXPECT_GT(meter.perSecond(), 0.0);
+}
+
+TEST(ObsRateMeterTest, EmptyWindowReadsExactlyZero) {
+    sim::Executor exec;
+    auto& meter = exec.metrics().meter("test.empty", sim::kSecond);
+    // Never marked: zero at creation time and zero after any amount of
+    // virtual time, including reads that race no events at all.
+    EXPECT_DOUBLE_EQ(meter.perSecond(), 0.0);
+    exec.runFor(sim::msec(1));
+    EXPECT_DOUBLE_EQ(meter.perSecond(), 0.0);
+    exec.runFor(sim::sec(100));
+    EXPECT_DOUBLE_EQ(meter.perSecond(), 0.0);
+    EXPECT_EQ(meter.total(), 0u);
+}
+
+TEST(ObsRateMeterTest, ColdStartDoesNotInflateTheRate) {
+    sim::Executor exec;
+    // 1s window, 10 buckets => 100ms minimum denominator.
+    auto& meter = exec.metrics().meter("test.cold", sim::kSecond);
+    // Mark instantly after creation: elapsed virtual time is 0, so a naive
+    // marks/elapsed read would be infinite. The clamp divides by at least
+    // one bucket width instead.
+    meter.mark(10);
+    double r = meter.perSecond();
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_LE(r, 10.0 / 0.1 + 1e-9);  // at most marks / bucketWidth
+    EXPECT_GT(r, 0.0);
+}
+
+TEST(ObsRateMeterTest, LargeTimeJumpDecaysCleanlyAndRecovers) {
+    sim::Executor exec;
+    auto& meter = exec.metrics().meter("test.jump", sim::kSecond);
+    meter.mark(500);
+    exec.runFor(sim::msec(200));
+    EXPECT_GT(meter.perSecond(), 0.0);
+
+    // Jump far beyond the window (many ring laps): the stale buckets must
+    // be discarded wholesale, not re-counted.
+    exec.runFor(sim::sec(3600));
+    EXPECT_DOUBLE_EQ(meter.perSecond(), 0.0);
+
+    // And the meter still works afterwards.
+    meter.mark(100);
+    exec.runFor(sim::msec(100));
+    EXPECT_GT(meter.perSecond(), 0.0);
+    EXPECT_EQ(meter.total(), 600u);
 }
 
 // ----------------------------------------------------------------- registry
