@@ -48,7 +48,7 @@ int main() {
                  {"p95_ms", stats.p95Ms},
                  {"ops_per_wal_entry",
                   walEntries ? static_cast<double>(ops) / walEntries : 0.0}},
-                &world->exec().metrics());
+                &world->exec().mergedMetrics());
         }
     }
     return 0;

@@ -51,7 +51,7 @@ int main() {
              {"wal_entries_per_sec", static_cast<double>(walEntries) / (stats.windowSec + 0.5)},
              {"journal_mbps", static_cast<double>(journalBytes) / (stats.windowSec + 0.5) /
                                   (1024 * 1024)}},
-            &world->exec().metrics());
+            &world->exec().mergedMetrics());
     }
     report.note("Expectation: more containers -> more, smaller WAL entries; latency and "
                 "efficiency degrade as multiplexing is lost (DESIGN.md, EXPERIMENTS.md).");

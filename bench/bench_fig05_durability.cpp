@@ -40,7 +40,7 @@ void sweepPravega(Report& report, const char* name, int segments, bool journalSy
         opt.journalSync = journalSync;
         auto world = makePravega(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        report.add(name, stats, &world->exec().metrics());
+        report.add(name, stats, &world->exec().mergedMetrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;  // saturated
     }
 }
@@ -54,7 +54,7 @@ void sweepKafka(Report& report, const char* name, int partitions, bool flush) {
         opt.flushEveryMessage = flush;
         auto world = makeKafka(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        report.add(name, stats, &world->exec().metrics());
+        report.add(name, stats, &world->exec().mergedMetrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;
     }
 }

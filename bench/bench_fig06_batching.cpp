@@ -38,7 +38,7 @@ void sweepPravega(Report& report, const char* name, int segments) {
         opt.segments = segments;
         auto world = makePravega(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        report.add(name, stats, &world->exec().metrics());
+        report.add(name, stats, &world->exec().mergedMetrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;
     }
 }
@@ -51,7 +51,7 @@ void sweepPulsar(Report& report, const char* name, int partitions, bool batching
         opt.batchingEnabled = batching;
         auto world = makePulsar(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        report.add(name, stats, &world->exec().metrics());
+        report.add(name, stats, &world->exec().mergedMetrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;
     }
 }
@@ -66,7 +66,7 @@ void sweepKafka(Report& report, const char* name, int partitions, uint64_t batch
         opt.lingerTime = linger;
         auto world = makeKafka(opt);
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
-        report.add(name, stats, &world->exec().metrics());
+        report.add(name, stats, &world->exec().mergedMetrics());
         if (stats.achievedEventsPerSec < 0.85 * rate) break;
     }
 }

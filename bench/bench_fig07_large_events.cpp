@@ -35,7 +35,7 @@ void sweep(Report& report, const char* name, MakeWorld make) {
         double mbps = kRatesMBps[i];
         auto world = make();
         auto stats = runOpenLoop(world->exec(), world->producers, workload(mbps));
-        report.add(name, stats, &world->exec().metrics());
+        report.add(name, stats, &world->exec().mergedMetrics());
         if (stats.achievedMBps < 0.85 * mbps) break;
     }
 }

@@ -38,7 +38,7 @@ void sweepPravega(Report& report, const char* name, int segments) {
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
         world->exec().runFor(sim::msec(200));  // drain deliveries
         report.addE2e(name, stats, world->consumed.eventsPerSec(), 100, world->e2e,
-                      &world->exec().metrics());
+                      &world->exec().mergedMetrics());
         if (world->consumed.eventsPerSec() < 0.70 * rate) break;
     }
 }
@@ -53,7 +53,7 @@ void sweepKafka(Report& report, const char* name, int partitions) {
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
         world->exec().runFor(sim::msec(200));
         report.addE2e(name, stats, world->consumed.eventsPerSec(), 100, world->e2e,
-                      &world->exec().metrics());
+                      &world->exec().mergedMetrics());
         if (world->consumed.eventsPerSec() < 0.70 * rate) break;
     }
 }
@@ -68,7 +68,7 @@ void sweepPulsar(Report& report, const char* name, int partitions) {
         auto stats = runOpenLoop(world->exec(), world->producers, workload(rate));
         world->exec().runFor(sim::msec(200));
         report.addE2e(name, stats, world->consumed.eventsPerSec(), 100, world->e2e,
-                      &world->exec().metrics());
+                      &world->exec().mergedMetrics());
         if (world->consumed.eventsPerSec() < 0.70 * rate) break;
     }
 }

@@ -44,7 +44,7 @@ int main() {
             world->exec().runFor(sim::msec(200));
             report.addE2e(std::string("pravega-") + tag, stats,
                           world->consumed.eventsPerSec(), 100, world->e2e,
-                          &world->exec().metrics());
+                          &world->exec().mergedMetrics());
         }
     }
     for (bool keys : {true, false}) {
@@ -59,7 +59,7 @@ int main() {
             world->exec().runFor(sim::msec(200));
             report.addE2e(std::string("kafka-") + tag, stats,
                           world->consumed.eventsPerSec(), 100, world->e2e,
-                          &world->exec().metrics());
+                          &world->exec().mergedMetrics());
         }
     }
     for (bool keys : {true, false}) {
@@ -74,7 +74,7 @@ int main() {
             world->exec().runFor(sim::msec(200));
             report.addE2e(std::string("pulsar-") + tag, stats,
                           world->consumed.eventsPerSec(), 100, world->e2e,
-                          &world->exec().metrics());
+                          &world->exec().mergedMetrics());
         }
     }
     return 0;

@@ -119,7 +119,7 @@ void runPravega(Report& report, bool readahead) {
     // store.read.coalesced and store.prefetch.* from the read pipeline.
     report.addCustom(label + "-summary",
                      {{"peak_read_mbps", peakRead}, {"readahead", readahead ? 1.0 : 0.0}},
-                     &world->exec().metrics());
+                     &world->exec().mergedMetrics());
 }
 
 /// A single reader draining a cold backlog with no concurrent writers: the
@@ -173,7 +173,7 @@ void runSingleReaderCatchup(Report& report, bool readahead) {
                       {"drained_mb", static_cast<double>(*drained) / (1024 * 1024)},
                       {"elapsed_sec", elapsed},
                       {"catchup_mbps", mbps}},
-                     &world->exec().metrics());
+                     &world->exec().mergedMetrics());
 }
 }  // namespace
 
@@ -236,7 +236,7 @@ int main() {
             }
         }
         report.addCustom("pulsar-summary", {{"peak_read_mbps", peakRead}},
-                         &world->exec().metrics(),
+                         &world->exec().mergedMetrics(),
                          caughtUp ? "" : "NEVER caught up (read <= write rate)");
     }
     return 0;

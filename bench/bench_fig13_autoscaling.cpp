@@ -111,6 +111,6 @@ int main() {
                                                                  .scaleEventCount(
                                                                      "scale/stream") +
                                                              1)}},
-                     &world->exec().metrics());
+                     &world->exec().mergedMetrics());
     return 0;
 }

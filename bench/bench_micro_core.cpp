@@ -166,13 +166,13 @@ void runDeterministicScenario() {
     w = shrinkForSmoke(w);
     auto stats = runOpenLoop(world->exec(), world->producers, w);
     world->exec().runFor(sim::msec(200));  // drain tail deliveries
-    report.add("core-scenario", stats, &world->exec().metrics());
+    report.add("core-scenario", stats, &world->exec().mergedMetrics());
     report.finish();
 
     const char* dump = std::getenv("BENCH_DUMP_METRICS");
     if (dump != nullptr && dump[0] == '1') {
         std::printf("=== obs registry dump ===\n%s",
-                    world->exec().metrics().dump().c_str());
+                    world->exec().mergedMetrics().dump().c_str());
         std::fflush(stdout);
     }
 }

@@ -12,7 +12,7 @@ namespace {
 /// exceeds 1/perEvent the client queue grows and latency explodes, which is
 /// how single-producer ceilings appear in every OMB-style benchmark.
 struct ClientStack {
-    ClientStack(sim::Executor& exec, sim::Duration perEvent, double perByteNs)
+    ClientStack(sim::Core& exec, sim::Duration perEvent, double perByteNs)
         : cpu(exec, 1), perEvent(perEvent), perByteNs(perByteNs) {}
     sim::QueuedResource cpu;
     sim::Duration perEvent;
@@ -72,9 +72,9 @@ void pumpReader(PravegaWorld* world, client::EventReader* reader,
 /// time to process them, which is what caps read throughput per consumer.
 template <typename Hist>
 std::function<void(uint32_t, uint64_t, sim::Duration)> consumerStack(
-    sim::Executor& exec, Hist* hist, ConsumeStats* stats, sim::Duration perEvent) {
+    sim::Core& exec, Hist* hist, ConsumeStats* stats, sim::Duration perEvent) {
     auto stack = std::make_shared<ClientStack>(exec, perEvent, 0.0);
-    sim::Executor* e = &exec;
+    sim::Core* e = &exec;
     return [stack, hist, stats, e](uint32_t events, uint64_t, sim::Duration e2e) {
         sim::TimePoint deliveredAt = e->now();
         stack->cpu
@@ -125,7 +125,7 @@ std::unique_ptr<PravegaWorld> makePravega(const PravegaOptions& opt) {
     for (int i = 0; i < opt.numWriters; ++i) {
         world->writers.push_back(world->cluster->makeWriter("bench/stream", opt.writer));
         client::EventWriter* writer = world->writers.back().get();
-        sim::Executor* exec = &world->exec();
+        sim::Machine* exec = &world->exec();
         auto stack = std::make_shared<ClientStack>(*exec, ClientCosts::kPravegaPerEvent, ClientCosts::kPravegaPerByteNs);
         Producer p;
         p.send = throttleClient(stack, [writer, exec](std::string key, uint32_t size,

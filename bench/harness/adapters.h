@@ -81,7 +81,7 @@ struct PravegaWorld {
     ConsumeStats consumed;
     std::shared_ptr<bool> alive = std::make_shared<bool>(true);
 
-    sim::Executor& exec() { return cluster->executor(); }
+    sim::Machine& exec() { return cluster->machine(); }
     uint64_t drainedEvents = 0;
 
     ~PravegaWorld() { *alive = false; }
@@ -101,7 +101,7 @@ struct KafkaOptions {
 };
 
 struct KafkaWorld {
-    std::unique_ptr<sim::Executor> execHolder = std::make_unique<sim::Executor>();
+    std::unique_ptr<sim::Machine> execHolder = std::make_unique<sim::Machine>();
     std::unique_ptr<sim::Network> net;
     std::unique_ptr<baselines::KafkaCluster> cluster;
     std::vector<std::unique_ptr<baselines::KafkaProducer>> kproducers;
@@ -110,7 +110,7 @@ struct KafkaWorld {
     LatencyHistogram e2e;
     ConsumeStats consumed;
 
-    sim::Executor& exec() { return *execHolder; }
+    sim::Machine& exec() { return *execHolder; }
 };
 
 std::unique_ptr<KafkaWorld> makeKafka(const KafkaOptions& opt);
@@ -130,7 +130,7 @@ struct PulsarOptions {
 };
 
 struct PulsarWorld {
-    std::unique_ptr<sim::Executor> execHolder = std::make_unique<sim::Executor>();
+    std::unique_ptr<sim::Machine> execHolder = std::make_unique<sim::Machine>();
     std::unique_ptr<sim::Network> net;
     std::vector<std::unique_ptr<sim::DiskModel>> disks;
     std::vector<std::unique_ptr<wal::Bookie>> bookies;
@@ -144,7 +144,7 @@ struct PulsarWorld {
     LatencyHistogram e2e;
     ConsumeStats consumed;
 
-    sim::Executor& exec() { return *execHolder; }
+    sim::Machine& exec() { return *execHolder; }
 };
 
 std::unique_ptr<PulsarWorld> makePulsar(const PulsarOptions& opt);

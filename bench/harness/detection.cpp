@@ -21,7 +21,7 @@ PravegaOptions detectionClusterOptions(int segments) {
 
 DetectionResult runDetectionScenario(Report& report, const DetectionScenario& sc) {
     auto world = makePravega(sc.options);
-    sim::Executor& exec = world->exec();
+    sim::Machine& exec = world->exec();
 
     detect::Monitor monitor(exec, sc.monitor);
     monitor.addDefaultWritePathProbes();

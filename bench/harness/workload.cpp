@@ -15,7 +15,7 @@ struct RunCtx {
 };
 }  // namespace
 
-RunStats runOpenLoop(sim::Executor& exec, std::vector<Producer>& producers,
+RunStats runOpenLoop(sim::Machine& exec, std::vector<Producer>& producers,
                      const WorkloadConfig& cfg) {
     auto ctx = std::make_shared<RunCtx>();
     sim::Rng rng(cfg.seed);

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "obs/histogram.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/random.h"
 
 namespace pravega::bench {
@@ -54,7 +54,7 @@ struct RunStats {
 /// Drives `producers` at the aggregate target rate for warmup+window and
 /// reports acked-sample latency percentiles plus achieved throughput
 /// (acknowledged events per second of measurement window).
-RunStats runOpenLoop(sim::Executor& exec, std::vector<Producer>& producers,
+RunStats runOpenLoop(sim::Machine& exec, std::vector<Producer>& producers,
                      const WorkloadConfig& cfg);
 
 }  // namespace pravega::bench

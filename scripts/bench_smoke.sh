@@ -84,6 +84,26 @@ print("fig14 detection OK: " + ", ".join(
     for s in ("bookie-crash/default", "partition/default")))
 PY
 
+echo "== fig11 cores sweep: shard-per-core throughput scaling gate =="
+python3 - "${OUT_DIR}/BENCH_fig11_max_throughput.json" <<'PY'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+rows = {int(r["values"]["cores"]): r for r in d["rows"]
+        if r["section"] == "cores" and r["series"] == "pravega-cores"}
+assert 1 in rows and 4 in rows, f"need cores=1 and cores=4 rows, got {sorted(rows)}"
+one = rows[1]["values"]["max_throughput_mbps"]
+four = rows[4]["values"]["max_throughput_mbps"]
+assert four >= 2.0 * one, \
+    f"4-core throughput {four:.1f} MB/s < 2x 1-core {one:.1f} MB/s — sharding is not scaling"
+assert rows[1]["values"]["xcore_messages"] == 0, \
+    "single-core run sent cross-core mailbox messages"
+assert rows[4]["values"]["xcore_messages"] > 0, \
+    "4-core run sent no cross-core mailbox messages"
+print(f"fig11 cores OK: 1c={one:.1f} MB/s, 4c={four:.1f} MB/s "
+      f"({four / one:.1f}x), xcore@4c={int(rows[4]['values']['xcore_messages'])}")
+PY
+
 echo "== determinism: bench_micro_core twice, byte-identical output =="
 DET_A="${OUT_DIR}/det-a"
 DET_B="${OUT_DIR}/det-b"

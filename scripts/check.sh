@@ -2,9 +2,10 @@
 # Tier-1 verification: build + ctest in the default configuration, then the
 # same suite under AddressSanitizer and UndefinedBehaviorSanitizer via the
 # PRAVEGA_SANITIZE CMake option, then a focused ThreadSanitizer pass over
-# the chaos/detect/obs suites (the sim is single-threaded by design — tsan
-# documents that the detection layer introduced no hidden threading). Each
-# configuration gets its own build tree.
+# the sim/chaos/detect/obs suites (the sim is single-threaded by design —
+# per-core shards are cooperatively scheduled, not OS threads — and tsan
+# documents that neither the sharded Machine substrate nor the detection
+# layer introduced hidden threading). Each configuration gets its own tree.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
@@ -22,5 +23,5 @@ run_suite() {
 run_suite plain ""
 run_suite asan address
 run_suite ubsan undefined
-run_suite tsan thread "chaos_test|detect_test|obs_test"
+run_suite tsan thread "sim_test|chaos_test|detect_test|obs_test"
 echo "All checks passed."

@@ -102,6 +102,37 @@ def check_detection(path, det):
                     fail(path, f"{where}.scores.per_class[{j}] missing {key!r}")
 
 
+def check_cores_rows(path, rows):
+    """The optional "cores" section: throughput-vs-core-count sweeps.
+
+    Every row in a section named "cores" must carry a positive integer
+    "cores" value plus at least one measurement, and within one series the
+    core counts must be distinct and increasing (a sweep, not repeats).
+    """
+    by_series = {}
+    for i, row in enumerate(rows):
+        if row.get("section") != "cores":
+            continue
+        where = f"rows[{i}]"
+        values = row["values"]
+        if "cores" not in values:
+            fail(path, f'{where} is in section "cores" but has no "cores" value')
+        cores = values["cores"]
+        check_number(path, cores, f"{where}.values.cores")
+        if cores != int(cores) or cores < 1:
+            fail(path, f"{where}.values.cores must be a positive integer: {cores!r}")
+        if len(values) < 2:
+            fail(path, f"{where} has no measurement besides the cores count")
+        by_series.setdefault(row["series"], []).append((int(cores), where))
+    for series, entries in by_series.items():
+        counts = [c for c, _ in entries]
+        if len(set(counts)) != len(counts):
+            fail(path, f'series {series!r} repeats a cores value: {counts}')
+        if counts != sorted(counts):
+            fail(path, f'series {series!r} cores values not increasing: {counts}')
+    return sum(len(v) for v in by_series.values())
+
+
 def validate(path):
     with open(path, "r", encoding="utf-8") as f:
         try:
@@ -151,7 +182,10 @@ def validate(path):
     if "detection" in doc:
         check_detection(path, doc["detection"])
         runs = len(doc["detection"]["runs"])
+    cores_rows = check_cores_rows(path, doc["rows"])
     suffix = f", {runs} detection runs" if runs else ""
+    if cores_rows:
+        suffix += f", {cores_rows} cores-sweep rows"
     print(f"{path}: OK ({len(doc['rows'])} rows{suffix})")
 
 

@@ -10,7 +10,7 @@ namespace pravega::baselines {
 
 // ------------------------------------------------------------- cluster
 
-KafkaCluster::KafkaCluster(sim::Executor& exec, sim::Network& net, sim::HostId firstBrokerHost,
+KafkaCluster::KafkaCluster(sim::Core& exec, sim::Network& net, sim::HostId firstBrokerHost,
                            KafkaConfig cfg)
     : exec_(exec), net_(net), cfg_(cfg) {
     for (int b = 0; b < cfg_.brokers; ++b) {

@@ -132,7 +132,7 @@ private:
 
 class KafkaCluster {
 public:
-    KafkaCluster(sim::Executor& exec, sim::Network& net, sim::HostId firstBrokerHost,
+    KafkaCluster(sim::Core& exec, sim::Network& net, sim::HostId firstBrokerHost,
                  KafkaConfig cfg);
 
     void createTopic(const std::string& name, int partitions);
@@ -186,7 +186,7 @@ private:
     uint64_t partitionFileId(const std::string& topic, int partition) const;
     Partition* find(const std::string& topic, int partition);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     KafkaConfig cfg_;
     std::vector<Broker> brokers_;

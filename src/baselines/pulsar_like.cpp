@@ -14,7 +14,7 @@ constexpr const char* kLog = "pulsar-like";
 
 // --------------------------------------------------------------- cluster
 
-PulsarCluster::PulsarCluster(sim::Executor& exec, sim::Network& net,
+PulsarCluster::PulsarCluster(sim::Core& exec, sim::Network& net,
                              sim::HostId firstBrokerHost, wal::WalEnv walEnv,
                              sim::ObjectStoreModel* offloadStore, PulsarConfig cfg)
     : exec_(exec),

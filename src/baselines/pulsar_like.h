@@ -146,7 +146,7 @@ private:
 
 class PulsarCluster {
 public:
-    PulsarCluster(sim::Executor& exec, sim::Network& net, sim::HostId firstBrokerHost,
+    PulsarCluster(sim::Core& exec, sim::Network& net, sim::HostId firstBrokerHost,
                   wal::WalEnv walEnv, sim::ObjectStoreModel* offloadStore, PulsarConfig cfg);
 
     void createTopic(const std::string& name, int partitions);
@@ -204,7 +204,7 @@ private:
     void maybeOffload(const std::string& topic, int partition);
     Partition* find(const std::string& topic, int partition);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     wal::WalEnv walEnv_;
     sim::ObjectStoreModel* offloadStore_;

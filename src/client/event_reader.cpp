@@ -10,7 +10,7 @@ namespace {
 constexpr const char* kLog = "event-reader";
 }
 
-EventReader::EventReader(sim::Executor& exec, sim::Network& net, sim::HostId readerHost,
+EventReader::EventReader(sim::Core& exec, sim::Network& net, sim::HostId readerHost,
                          controller::Controller& controller, controller::SegmentUri syncUri,
                          std::string readerName, ReaderConfig cfg)
     : exec_(exec),

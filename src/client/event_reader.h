@@ -23,7 +23,7 @@ struct EventRead {
 
 class EventReader {
 public:
-    EventReader(sim::Executor& exec, sim::Network& net, sim::HostId readerHost,
+    EventReader(sim::Core& exec, sim::Network& net, sim::HostId readerHost,
                 controller::Controller& controller, controller::SegmentUri syncUri,
                 std::string readerName, ReaderConfig cfg);
     ~EventReader();
@@ -54,7 +54,7 @@ private:
     void handleEndedSegments();
     bool deliverBuffered(sim::Promise<EventRead>& promise);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     sim::HostId readerHost_;
     controller::Controller& controller_;

@@ -11,7 +11,7 @@ constexpr const char* kLog = "event-writer";
 
 WriterId EventWriter::nextWriterId_ = 1;
 
-EventWriter::EventWriter(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+EventWriter::EventWriter(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                          controller::Controller& controller, std::string scopedStream,
                          WriterConfig cfg)
     : exec_(exec),
@@ -21,7 +21,10 @@ EventWriter::EventWriter(sim::Executor& exec, sim::Network& net, sim::HostId cli
       scopedStream_(std::move(scopedStream)),
       cfg_(cfg),
       writerId_(nextWriterId_++),
-      rng_(writerId_ * 0x9E3779B97F4A7C15ULL) {}
+      rng_(writerId_ * 0x9E3779B97F4A7C15ULL),
+      alive_(std::make_shared<bool>(true)) {}
+
+EventWriter::~EventWriter() { *alive_ = false; }
 
 Status EventWriter::initialize() {
     auto segments = controller_.getCurrentSegments(scopedStream_);
@@ -114,7 +117,8 @@ void EventWriter::rerouteWhenReady(SegmentId segment,
             }
             return;
         }
-        exec_.schedule(sim::msec(5), [this, segment, attempt]() {
+        exec_.schedule(sim::msec(5), [this, alive = alive_, segment, attempt]() {
+            if (!*alive) return;
             rerouteWhenReady(segment, {}, attempt + 1);
         });
         return;

@@ -21,8 +21,9 @@ namespace pravega::client {
 
 class EventWriter {
 public:
-    EventWriter(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+    EventWriter(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                 controller::Controller& controller, std::string scopedStream, WriterConfig cfg);
+    ~EventWriter();
 
     /// Fetches the stream's current segments; must succeed before writing.
     Status initialize();
@@ -50,7 +51,7 @@ private:
     void rerouteWhenReady(SegmentId segment,
                           std::vector<SegmentOutputStream::ResendEvent> events, int attempt);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     sim::HostId clientHost_;
     controller::Controller& controller_;
@@ -66,6 +67,8 @@ private:
     /// while the scale event is still committing.
     std::map<SegmentId, std::vector<SegmentOutputStream::ResendEvent>> rerouting_;
     sim::Rng rng_;
+    /// Liveness token for the successor-retry timer (set false on destroy).
+    std::shared_ptr<bool> alive_;
     uint64_t eventsWritten_ = 0;
     uint64_t rerouted_ = 0;
 

@@ -2,7 +2,7 @@
 
 namespace pravega::client {
 
-Result<std::unique_ptr<KeyValueTable>> KeyValueTable::create(sim::Executor& exec,
+Result<std::unique_ptr<KeyValueTable>> KeyValueTable::create(sim::Core& exec,
                                                              sim::Network& net,
                                                              sim::HostId clientHost,
                                                              controller::Controller& controller,
@@ -13,7 +13,7 @@ Result<std::unique_ptr<KeyValueTable>> KeyValueTable::create(sim::Executor& exec
         new KeyValueTable(exec, net, clientHost, uri.value(), 64));
 }
 
-KeyValueTable::KeyValueTable(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+KeyValueTable::KeyValueTable(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                              controller::SegmentUri uri, uint64_t wireOverhead)
     : exec_(exec),
       net_(net),

@@ -20,7 +20,7 @@ namespace pravega::client {
 class KeyValueTable {
 public:
     /// Creates a new KV table backed by a table segment.
-    static Result<std::unique_ptr<KeyValueTable>> create(sim::Executor& exec, sim::Network& net,
+    static Result<std::unique_ptr<KeyValueTable>> create(sim::Core& exec, sim::Network& net,
                                                          sim::HostId clientHost,
                                                          controller::Controller& controller,
                                                          const std::string& scopedName);
@@ -44,13 +44,13 @@ public:
     sim::Future<std::vector<int64_t>> updateAll(std::vector<segmentstore::TableUpdate> batch);
 
 private:
-    KeyValueTable(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+    KeyValueTable(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                   controller::SegmentUri uri, uint64_t wireOverhead);
 
     template <typename T, typename Fn>
     sim::Future<T> roundTrip(uint64_t requestBytes, Fn serverFn);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     sim::HostId clientHost_;
     controller::SegmentUri uri_;

@@ -200,7 +200,7 @@ Bytes ReaderGroupState::makeCompleted(const std::string& reader, SegmentId segme
 }
 
 Result<std::shared_ptr<ReaderGroup>> ReaderGroup::create(
-    sim::Executor& exec, sim::Network& net, sim::HostId creatorHost,
+    sim::Core& exec, sim::Network& net, sim::HostId creatorHost,
     controller::Controller& controller, const std::string& groupName,
     const std::vector<std::string>& streams, ReaderConfig cfg) {
     auto uri = controller.createInternalSegment("_readergroups/" + groupName);

@@ -61,7 +61,7 @@ class ReaderGroup {
 public:
     /// Creates the group (coordination segment + initial state) reading the
     /// given stream from its head.
-    static Result<std::shared_ptr<ReaderGroup>> create(sim::Executor& exec, sim::Network& net,
+    static Result<std::shared_ptr<ReaderGroup>> create(sim::Core& exec, sim::Network& net,
                                                        sim::HostId creatorHost,
                                                        controller::Controller& controller,
                                                        const std::string& groupName,
@@ -76,12 +76,12 @@ public:
     const ReaderConfig& config() const { return cfg_; }
 
 private:
-    ReaderGroup(sim::Executor& exec, sim::Network& net, controller::Controller& controller,
+    ReaderGroup(sim::Core& exec, sim::Network& net, controller::Controller& controller,
                 controller::SegmentUri syncUri, ReaderConfig cfg)
         : exec_(exec), net_(net), controller_(controller), syncUri_(std::move(syncUri)),
           cfg_(cfg) {}
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     controller::Controller& controller_;
     controller::SegmentUri syncUri_;

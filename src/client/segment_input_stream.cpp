@@ -5,7 +5,7 @@
 
 namespace pravega::client {
 
-SegmentInputStream::SegmentInputStream(sim::Executor& exec, sim::Network& net,
+SegmentInputStream::SegmentInputStream(sim::Core& exec, sim::Network& net,
                                        sim::HostId clientHost, controller::SegmentUri uri,
                                        int64_t startOffset, ReaderConfig cfg,
                                        std::function<void()> onData)
@@ -54,7 +54,8 @@ void SegmentInputStream::ensureFetching() {
             if (onData_) onData_();
             return;
         }
-        uri_.store->chargeRequest(0).thenAsync([this, container](const sim::Unit&) {
+        uri_.store->chargeRequest(uri_.containerId, 0)
+            .thenAsync([this, container](const sim::Unit&) {
             return container->read(uri_.record.id, fetchOffset_,
                                    static_cast<int64_t>(cfg_.fetchBytes));
         })

@@ -25,7 +25,7 @@ class SegmentInputStream {
 public:
     /// `onData` fires whenever newly fetched bytes (or end-of-segment)
     /// become available, so the reader can wake parked read() calls.
-    SegmentInputStream(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+    SegmentInputStream(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                        controller::SegmentUri uri, int64_t startOffset, ReaderConfig cfg,
                        std::function<void()> onData);
     ~SegmentInputStream();
@@ -52,7 +52,7 @@ public:
 private:
     void onFetchComplete(const Result<segmentstore::ReadResult>& r);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     sim::HostId clientHost_;
     controller::SegmentUri uri_;

@@ -12,7 +12,7 @@ namespace {
 constexpr const char* kLog = "writer";
 }
 
-SegmentOutputStream::SegmentOutputStream(sim::Executor& exec, sim::Network& net,
+SegmentOutputStream::SegmentOutputStream(sim::Core& exec, sim::Network& net,
                                          sim::HostId clientHost,
                                          segmentstore::SegmentStore* store, uint32_t containerId,
                                          SegmentId segment, WriterId writerId, WriterConfig cfg,
@@ -97,7 +97,8 @@ void SegmentOutputStream::maybeCloseBlock() {
         uint64_t epoch = ++closeTimerEpoch_;
         sim::Duration wait = std::min<sim::Duration>(
             cfg_.maxBatchTime, static_cast<sim::Duration>(rttEstimateNs_ / 2.0));
-        exec_.schedule(std::max<sim::Duration>(wait, 1), [this, epoch]() {
+        exec_.schedule(std::max<sim::Duration>(wait, 1), [this, alive = alive_, epoch]() {
+            if (!*alive) return;
             if (epoch != closeTimerEpoch_) return;
             closeTimerArmed_ = false;
             if (!open_.events.empty()) closeBlock();
@@ -184,7 +185,7 @@ void SegmentOutputStream::sendBlock(Block block) {
                   // outlive this stream object.
                   SegmentId segment = segment_;
                   WriterId writer = writerId_;
-                  store_->chargeRequest(payload.size())
+                  store_->chargeRequest(containerId_, payload.size())
                       .thenAsync([container, payload, segment, writer, lastEventNumber,
                                   eventCount](const sim::Unit&) {
                           return container->append(segment, payload, writer,

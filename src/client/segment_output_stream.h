@@ -60,7 +60,7 @@ public:
     /// must be re-routed by the owner (EventWriter) via the successors.
     using SealedHandler = std::function<void(SegmentId, std::vector<ResendEvent>)>;
 
-    SegmentOutputStream(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+    SegmentOutputStream(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                         segmentstore::SegmentStore* store, uint32_t containerId,
                         SegmentId segment, WriterId writerId, WriterConfig cfg,
                         SealedHandler onSealed);
@@ -104,7 +104,7 @@ private:
     void onBlockAck(Block block, const Result<int64_t>& result, sim::TimePoint sentAt);
     void handleSealed(Block first);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     sim::HostId clientHost_;
     segmentstore::SegmentStore* store_;

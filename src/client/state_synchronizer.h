@@ -33,7 +33,7 @@ namespace pravega::client {
 template <typename State>
 class StateSynchronizer {
 public:
-    StateSynchronizer(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+    StateSynchronizer(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                       controller::SegmentUri uri, uint64_t wireOverheadBytes = 64)
         : exec_(exec),
           net_(net),
@@ -218,7 +218,7 @@ private:
         });
     }
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     sim::HostId clientHost_;
     controller::SegmentUri uri_;

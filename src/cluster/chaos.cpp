@@ -138,7 +138,7 @@ void ChaosSchedule::generate() {
 void ChaosSchedule::arm() {
     assert(!armed_ && "a schedule arms once");
     armed_ = true;
-    sim::Executor& exec = cluster_.executor();
+    sim::Core& exec = cluster_.executor();
     for (const ChaosEvent& ev : timeline_) {
         exec.schedule(std::max<sim::Duration>(0, ev.at - exec.now()),
                       [this, ev]() { execute(ev); });

@@ -10,11 +10,16 @@ constexpr sim::HostId kStoreHostBase = 200;
 }  // namespace
 
 PravegaCluster::PravegaCluster(ClusterConfig cfg)
-    : cfg_(cfg), net_(exec_, cfg.link, cfg.networkFaultSeed) {
-    // Bookies, each with a dedicated journal drive (Table 1: 1 NVMe).
+    : cfg_(cfg), machine_(cfg.machine), net_(machine_, cfg.link, cfg.networkFaultSeed) {
+    int cores = machine_.coreCount();
+    // Bookies, each with a dedicated journal drive (Table 1: 1 NVMe),
+    // pinned round-robin across cores: bookie b's RPC handling and journal
+    // device live on core (b % cores).
     for (int b = 0; b < cfg_.bookies; ++b) {
-        journalDrives_.push_back(std::make_unique<sim::DiskModel>(exec_, cfg_.journalDrive));
-        bookies_.push_back(std::make_unique<wal::Bookie>(exec_, kBookieHostBase + b,
+        sim::Core& core = machine_.core(b % cores);
+        net_.pinHost(kBookieHostBase + b, core);
+        journalDrives_.push_back(std::make_unique<sim::DiskModel>(core, cfg_.journalDrive));
+        bookies_.push_back(std::make_unique<wal::Bookie>(core, kBookieHostBase + b,
                                                          *journalDrives_.back(), cfg_.bookie));
     }
     ledgerRegistry_.setBookiePool(bookies());
@@ -24,7 +29,7 @@ PravegaCluster::PravegaCluster(ClusterConfig cfg)
             lts_ = std::make_unique<lts::InMemoryChunkStorage>();
             break;
         case LtsKind::SimulatedObject:
-            lts_ = std::make_unique<lts::SimulatedObjectStorage>(exec_, cfg_.lts);
+            lts_ = std::make_unique<lts::SimulatedObjectStorage>(machine_, cfg_.lts);
             break;
         case LtsKind::NoOp:
             lts_ = std::make_unique<lts::NoOpChunkStorage>();
@@ -34,13 +39,19 @@ PravegaCluster::PravegaCluster(ClusterConfig cfg)
             break;
     }
     if (cfg_.faultInjectLts) {
-        faultLts_ = std::make_unique<lts::FaultInjectionChunkStorage>(exec_, *lts_,
+        faultLts_ = std::make_unique<lts::FaultInjectionChunkStorage>(machine_, *lts_,
                                                                       cfg_.ltsFaults);
     }
 
+    // Segment stores: frontend (request arrival) on core (s % cores),
+    // containers placed on core (containerId % cores) — the shard-per-core
+    // layout ("each core manages a distinct set of logs").
     for (int s = 0; s < cfg_.segmentStores; ++s) {
+        sim::Core& core = machine_.core(s % cores);
+        net_.pinHost(kStoreHostBase + s, core);
         stores_.push_back(std::make_unique<segmentstore::SegmentStore>(
-            exec_, kStoreHostBase + s, walEnv(), lts(), cfg_.store));
+            core, kStoreHostBase + s, walEnv(), lts(), cfg_.store,
+            [this](uint32_t cid) -> sim::Core& { return containerCore(cid); }));
         storeAlive_.push_back(true);
     }
 
@@ -50,11 +61,11 @@ PravegaCluster::PravegaCluster(ClusterConfig cfg)
         PLOG_ERROR("cluster", "container distribution failed: %s",
                    balanced.toString().c_str());
     }
-    controller_ = std::make_unique<controller::Controller>(exec_, *registry_, cfg_.controller);
+    controller_ = std::make_unique<controller::Controller>(machine_, *registry_, cfg_.controller);
 }
 
 wal::WalEnv PravegaCluster::walEnv() {
-    return wal::WalEnv{exec_, net_, ledgerRegistry_, logMeta_, bookies()};
+    return wal::WalEnv{machine_, net_, ledgerRegistry_, logMeta_, bookies()};
 }
 
 std::vector<segmentstore::SegmentStore*> PravegaCluster::stores() {
@@ -74,7 +85,8 @@ std::vector<wal::Bookie*> PravegaCluster::bookies() {
 
 std::unique_ptr<client::EventWriter> PravegaCluster::makeWriter(const std::string& scopedStream,
                                                                 client::WriterConfig cfg) {
-    auto writer = std::make_unique<client::EventWriter>(exec_, net_, newClientHost(),
+    sim::HostId host = newClientHost();
+    auto writer = std::make_unique<client::EventWriter>(net_.coreOf(host), net_, host,
                                                         *controller_, scopedStream, cfg);
     writer->initialize();
     return writer;
@@ -83,7 +95,8 @@ std::unique_ptr<client::EventWriter> PravegaCluster::makeWriter(const std::strin
 Result<std::shared_ptr<client::ReaderGroup>> PravegaCluster::makeReaderGroup(
     const std::string& groupName, const std::vector<std::string>& streams,
     client::ReaderConfig cfg) {
-    return client::ReaderGroup::create(exec_, net_, newClientHost(), *controller_, groupName,
+    sim::HostId host = newClientHost();
+    return client::ReaderGroup::create(net_.coreOf(host), net_, host, *controller_, groupName,
                                        streams, cfg);
 }
 
@@ -131,12 +144,12 @@ Status PravegaCluster::crashStore(size_t index) {
 }
 
 bool PravegaCluster::runUntil(const std::function<bool()>& pred, sim::Duration timeout) {
-    sim::TimePoint deadline = exec_.now() + timeout;
-    while (!pred() && exec_.now() < deadline) {
-        if (!exec_.runOne()) {
+    sim::TimePoint deadline = machine_.now() + timeout;
+    while (!pred() && machine_.now() < deadline) {
+        if (!machine_.runOne()) {
             // Idle: advance in small steps so timers can still fire.
-            exec_.runUntil(std::min(deadline, exec_.now() + sim::msec(1)));
-            if (exec_.pendingTasks() == 0) break;
+            machine_.runUntil(std::min(deadline, machine_.now() + sim::msec(1)));
+            if (machine_.pendingTasks() == 0) break;
         }
     }
     return pred();

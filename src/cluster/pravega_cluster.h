@@ -17,7 +17,7 @@
 #include "lts/chunk_storage.h"
 #include "lts/fault_injection.h"
 #include "segmentstore/segment_store.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/network.h"
 #include "wal/bookie.h"
 #include "wal/log_client.h"
@@ -48,6 +48,11 @@ struct ClusterConfig {
 
     /// Seed for the network's per-link fault PRNGs (probabilistic loss).
     uint64_t networkFaultSeed = 0x5EED0FFAULL;
+
+    /// Sharded-substrate shape: core count, cross-core hand-off latency,
+    /// per-core RNG seeding. The default (1 core) reproduces the pre-shard
+    /// single-executor behavior byte-for-byte.
+    sim::MachineConfig machine;
 };
 
 class PravegaCluster {
@@ -55,7 +60,15 @@ public:
     PravegaCluster() : PravegaCluster(ClusterConfig{}) {}
     explicit PravegaCluster(ClusterConfig cfg);
 
-    sim::Executor& executor() { return exec_; }
+    /// The sharded simulation substrate driving this cluster.
+    sim::Machine& machine() { return machine_; }
+    /// The control-plane core (core 0): controller, coordination, and any
+    /// component not explicitly pinned elsewhere live here.
+    sim::Core& executor() { return machine_; }
+    /// Core hosting container `containerId` (containerId % cores).
+    sim::Core& containerCore(uint32_t containerId) {
+        return machine_.core(static_cast<int>(containerId) % machine_.coreCount());
+    }
     sim::Network& network() { return net_; }
     controller::Controller& ctrl() { return *controller_; }
     ContainerRegistry& registry() { return *registry_; }
@@ -67,8 +80,13 @@ public:
     std::vector<wal::Bookie*> bookies();
     wal::WalEnv walEnv();
 
-    /// Allocates a host id for a client machine.
-    sim::HostId newClientHost() { return nextClientHost_++; }
+    /// Allocates a host id for a client machine, pinned round-robin across
+    /// the machine's cores.
+    sim::HostId newClientHost() {
+        sim::HostId h = nextClientHost_++;
+        net_.pinHost(h, machine_.core(static_cast<int>(h - 1000) % machine_.coreCount()));
+        return h;
+    }
 
     // ---- convenience factories -----------------------------------------
     std::unique_ptr<client::EventWriter> makeWriter(const std::string& scopedStream,
@@ -106,8 +124,8 @@ public:
     lts::FaultInjectionChunkStorage* faultLts() { return faultLts_.get(); }
 
     /// Runs the simulation for the given virtual duration / until idle.
-    void runFor(sim::Duration d) { exec_.runFor(d); }
-    uint64_t runUntilIdle() { return exec_.runUntilIdle(); }
+    void runFor(sim::Duration d) { machine_.runFor(d); }
+    uint64_t runUntilIdle() { return machine_.runUntilIdle(); }
 
     /// Runs until `pred()` or the (virtual-time) deadline; true if pred held.
     bool runUntil(const std::function<bool()>& pred, sim::Duration timeout);
@@ -116,7 +134,7 @@ public:
 
 private:
     ClusterConfig cfg_;
-    sim::Executor exec_;
+    sim::Machine machine_;
     sim::Network net_;
     wal::LedgerRegistry ledgerRegistry_;
     wal::LogMetadataStore logMeta_;

@@ -11,7 +11,7 @@ namespace {
 constexpr const char* kLog = "auto-scaler";
 }
 
-AutoScaler::AutoScaler(sim::Executor& exec, Controller& controller,
+AutoScaler::AutoScaler(sim::Core& exec, Controller& controller,
                        std::vector<segmentstore::SegmentStore*> stores, Config cfg)
     : exec_(exec), controller_(controller), stores_(std::move(stores)), cfg_(cfg) {}
 

@@ -12,7 +12,7 @@
 
 #include "controller/controller.h"
 #include "segmentstore/segment_store.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 
 namespace pravega::controller {
 
@@ -30,10 +30,10 @@ public:
         sim::Duration cooldown = sim::sec(4);
     };
 
-    AutoScaler(sim::Executor& exec, Controller& controller,
+    AutoScaler(sim::Core& exec, Controller& controller,
                std::vector<segmentstore::SegmentStore*> stores)
         : AutoScaler(exec, controller, std::move(stores), Config{}) {}
-    AutoScaler(sim::Executor& exec, Controller& controller,
+    AutoScaler(sim::Core& exec, Controller& controller,
                std::vector<segmentstore::SegmentStore*> stores, Config cfg);
     ~AutoScaler();
 
@@ -53,7 +53,7 @@ private:
                         const std::map<SegmentId, segmentstore::SegmentRate>& rates,
                         double windowSec);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     Controller& controller_;
     std::vector<segmentstore::SegmentStore*> stores_;
     Config cfg_;

@@ -11,7 +11,7 @@ constexpr const char* kLog = "controller";
 constexpr const char* kStreamKeyPrefix = "streams/";
 }  // namespace
 
-Controller::Controller(sim::Executor& exec, cluster::ContainerRegistry& registry, Config cfg)
+Controller::Controller(sim::Core& exec, cluster::ContainerRegistry& registry, Config cfg)
     : exec_(exec), registry_(registry), cfg_(cfg) {
     retentionTick();
 }

@@ -15,7 +15,7 @@
 #include "common/hash.h"
 #include "controller/stream_metadata.h"
 #include "segmentstore/segment_store.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/future.h"
 
 namespace pravega::controller {
@@ -37,9 +37,9 @@ public:
         bool persistMetadata = true;
     };
 
-    Controller(sim::Executor& exec, cluster::ContainerRegistry& registry)
+    Controller(sim::Core& exec, cluster::ContainerRegistry& registry)
         : Controller(exec, registry, Config{}) {}
-    Controller(sim::Executor& exec, cluster::ContainerRegistry& registry, Config cfg);
+    Controller(sim::Core& exec, cluster::ContainerRegistry& registry, Config cfg);
     ~Controller();
 
     // ---- stream life-cycle --------------------------------------------
@@ -95,7 +95,7 @@ private:
     void retentionTick();
     void enforceRetention(const std::string& scopedName, StreamRecord& rec);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     cluster::ContainerRegistry& registry_;
     Config cfg_;
 

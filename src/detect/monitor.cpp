@@ -33,7 +33,7 @@ std::string jsonEscape(const std::string& s) {
 
 }  // namespace
 
-Monitor::Monitor(sim::Executor& exec, Config cfg)
+Monitor::Monitor(sim::Core& exec, Config cfg)
     : exec_(exec),
       cfg_(cfg),
       mTicks_(exec.metrics().counter("detect.ticks")),
@@ -191,7 +191,7 @@ void Monitor::tick() {
         feed(*ps, *x);
     }
     for (auto& rs : rails_) {
-        std::optional<Fire> fired = rs->rail.evaluate(exec_.metrics(), now);
+        std::optional<Fire> fired = rs->rail.evaluate(exec_.machine().mergedMetrics(), now);
         if (fired) {
             record("slo", rs->rail.rule().text, *fired, rs->rail.lastValue(), &rs->open);
         } else {
@@ -208,7 +208,7 @@ void Monitor::tick() {
 }
 
 std::optional<double> Monitor::sample(ProbeState& ps) {
-    const obs::MetricsRegistry& reg = exec_.metrics();
+    const obs::MetricsRegistry& reg = exec_.machine().mergedMetrics();
     double dtSec = sim::toSeconds(exec_.now() - lastTick_);
     switch (ps.cfg.source) {
         case ProbeConfig::Source::CounterRate: {

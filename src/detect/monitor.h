@@ -26,7 +26,7 @@
 #include "detect/detectors.h"
 #include "detect/slo.h"
 #include "obs/metrics.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 
 namespace pravega::detect {
 
@@ -57,8 +57,8 @@ public:
         int warmupSamples = 40;
     };
 
-    explicit Monitor(sim::Executor& exec) : Monitor(exec, Config()) {}
-    Monitor(sim::Executor& exec, Config cfg);
+    explicit Monitor(sim::Core& exec) : Monitor(exec, Config()) {}
+    Monitor(sim::Core& exec, Config cfg);
     ~Monitor();
     Monitor(const Monitor&) = delete;
     Monitor& operator=(const Monitor&) = delete;
@@ -126,7 +126,7 @@ private:
                 double value, int* openIdx);
     void stamp(int* openIdx, bool stillActive);
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     Config cfg_;
     std::vector<std::unique_ptr<ProbeState>> probes_;
     std::vector<std::unique_ptr<RailState>> rails_;

@@ -71,7 +71,7 @@ private:
 /// is the stand-in for AWS EFS / S3 in every benchmark.
 class SimulatedObjectStorage : public ChunkStorage {
 public:
-    SimulatedObjectStorage(sim::Executor& exec, sim::ObjectStoreModel::Config cfg)
+    SimulatedObjectStorage(sim::Core& exec, sim::ObjectStoreModel::Config cfg)
         : model_(exec, cfg) {}
 
     sim::Future<sim::Unit> create(const std::string& name) override;

@@ -15,7 +15,7 @@
 #include <string>
 
 #include "lts/chunk_storage.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/random.h"
 
 namespace pravega::lts {
@@ -48,7 +48,7 @@ public:
         uint64_t seed = 1;
     };
 
-    FaultInjectionChunkStorage(sim::Executor& exec, ChunkStorage& inner, Config cfg)
+    FaultInjectionChunkStorage(sim::Core& exec, ChunkStorage& inner, Config cfg)
         : exec_(exec), inner_(inner), cfg_(cfg), rng_(cfg.seed) {}
 
     /// Re-arms a hard outage window starting now.
@@ -126,7 +126,7 @@ private:
         return fut;
     }
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     ChunkStorage& inner_;
     Config cfg_;
     sim::Rng rng_;

@@ -75,6 +75,16 @@ public:
         return d;
     }
 
+    /// Accumulates `other`'s samples into this histogram (bucket-wise sum).
+    /// Used to fold per-core registry partitions into one merged view;
+    /// identical bucket layouts make the merge exact.
+    void mergeFrom(const LatencyHistogram& other) {
+        for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        max_ = std::max(max_, other.max_);
+    }
+
     /// Worst-case relative error of a percentile query: one bucket step.
     static constexpr double kBucketRelativeError = 0.125;
 

@@ -82,6 +82,27 @@ double RateMeter::perSecond() const {
     return static_cast<double>(inWindow) / sim::toSeconds(span);
 }
 
+void RateMeter::mergeFrom(const RateMeter& other) {
+    sim::TimePoint now = now_();
+    advanceTo(now);
+    other.advanceTo(now);
+    total_ += other.total_;
+    // Earlier creation carries over so perSecond() divides by the true span
+    // of observed activity, not the (later) merge-registry creation time.
+    createdAt_ = std::min(createdAt_, other.createdAt_);
+    auto n = static_cast<int64_t>(ring_.size());
+    if (bucketWidth_ == other.bucketWidth_ &&
+        n == static_cast<int64_t>(other.ring_.size())) {
+        // Identical geometry and both advanced to `now`: absolute bucket
+        // indices line up, so the rings add element-wise.
+        for (size_t i = 0; i < ring_.size(); ++i) ring_[i] += other.ring_[i];
+    } else {
+        uint64_t inWindow = 0;
+        for (uint64_t v : other.ring_) inWindow += v;
+        ring_[static_cast<size_t>(currentBucket_ % n)] += inWindow;
+    }
+}
+
 MetricsRegistry::MetricsRegistry(RateMeter::NowFn now) : now_(std::move(now)) {}
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -131,6 +152,13 @@ const RateMeter* MetricsRegistry::findMeter(const std::string& name) const {
 uint64_t MetricsRegistry::counterValue(const std::string& name) const {
     const Counter* c = findCounter(name);
     return c ? c->value() : 0;
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry& src) {
+    for (const auto& [name, c] : src.counters_) counter(name).inc(c->value());
+    for (const auto& [name, g] : src.gauges_) gauge(name).add(g->value());
+    for (const auto& [name, h] : src.histograms_) histogram(name).mergeFrom(*h);
+    for (const auto& [name, m] : src.meters_) meter(name, m->window()).mergeFrom(*m);
 }
 
 std::string MetricsRegistry::dump() const {

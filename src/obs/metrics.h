@@ -3,14 +3,14 @@
 // MetricsRegistry.
 //
 // Determinism contract: every instrument is driven exclusively by virtual
-// time (`sim::Executor::now()`) and by the deterministic event order of the
+// time (`sim::Core::now()`) and by the deterministic event order of the
 // simulation — no wall clock, no global state, no iteration over unordered
 // containers. `dump()` renders instruments sorted by name with fixed
 // formatting, so two same-seed runs of the same binary produce byte-identical
 // dumps. That makes metrics assertable in tests and turns the chaos suite
 // into a white-box tool.
 //
-// One registry per Executor (see sim::Executor::metrics()): a "world" in
+// One registry per Core (see sim::Core::metrics()): a "world" in
 // this codebase is one executor, so per-world isolation falls out naturally
 // and bench sweep points never bleed counters into each other.
 //
@@ -69,6 +69,13 @@ public:
     uint64_t total() const { return total_; }
     sim::Duration window() const { return window_; }
 
+    /// Accumulates `other` into this meter. Both rings are advanced to the
+    /// current virtual time first; with identical geometry (same window,
+    /// same bucket count — the per-core partition case) the merge is
+    /// bucket-exact, otherwise the in-window counts fold into the current
+    /// bucket as a conservative approximation.
+    void mergeFrom(const RateMeter& other);
+
 private:
     void advanceTo(sim::TimePoint now) const;
 
@@ -102,6 +109,14 @@ public:
 
     /// Convenience for assertions: value of a counter, or 0 if absent.
     uint64_t counterValue(const std::string& name) const;
+
+    /// Folds every instrument of `src` into this registry, find-or-create
+    /// per name: counters and gauges sum, histograms merge bucket-wise,
+    /// meters merge ring-wise. Same-name instruments from different source
+    /// registries land in ONE instrument here — this is how per-core
+    /// registry partitions aggregate into the machine-wide snapshot without
+    /// double-registration.
+    void mergeFrom(const MetricsRegistry& src);
 
     /// Deterministic text dump: one line per instrument, sorted by name,
     /// fixed formatting. Byte-identical across same-seed runs.

@@ -15,7 +15,7 @@ SegmentId systemTableIdFor(uint32_t containerId) {
 }
 }  // namespace
 
-SegmentContainer::SegmentContainer(sim::Executor& exec, uint32_t containerId, wal::WalEnv walEnv,
+SegmentContainer::SegmentContainer(sim::Core& exec, uint32_t containerId, wal::WalEnv walEnv,
                                    sim::HostId host, lts::ChunkStorage& lts, BlockCache& cache,
                                    ContainerConfig cfg)
     : exec_(exec),

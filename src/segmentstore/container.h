@@ -30,7 +30,7 @@
 #include "segmentstore/storage_writer.h"
 #include "segmentstore/table_segment.h"
 #include "segmentstore/types.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/future.h"
 #include "wal/log_client.h"
 
@@ -101,7 +101,7 @@ struct SegmentRate {
 
 class SegmentContainer {
 public:
-    SegmentContainer(sim::Executor& exec, uint32_t containerId, wal::WalEnv walEnv,
+    SegmentContainer(sim::Core& exec, uint32_t containerId, wal::WalEnv walEnv,
                      sim::HostId host, lts::ChunkStorage& lts, BlockCache& cache,
                      ContainerConfig cfg);
     ~SegmentContainer();
@@ -256,7 +256,7 @@ private:
     void startCachePolicyTimer();
     void truncateWalIfPossible();
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     uint32_t containerId_;
     sim::HostId host_;
     lts::ChunkStorage& lts_;

@@ -1,24 +1,62 @@
 #include "segmentstore/segment_store.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pravega::segmentstore {
 
-SegmentStore::SegmentStore(sim::Executor& exec, sim::HostId host, wal::WalEnv walEnv,
-                           lts::ChunkStorage& lts, Config cfg)
+SegmentStore::SegmentStore(sim::Core& exec, sim::HostId host, wal::WalEnv walEnv,
+                           lts::ChunkStorage& lts, Config cfg, ContainerPlacement placement)
     : exec_(exec),
       host_(host),
       walEnv_(walEnv),
       lts_(lts),
       cfg_(cfg),
-      cpu_(exec, cfg.cpu),
+      placement_(std::move(placement)),
       cache_(cfg.cache) {}
+
+sim::Core& SegmentStore::containerCore(uint32_t containerId) {
+    return placement_ ? placement_(containerId) : exec_;
+}
+
+sim::CpuModel& SegmentStore::cpuFor(sim::Core& core) {
+    auto& slot = cpuByCore_[core.id()];
+    if (!slot) {
+        sim::CpuModel::Config perCore = cfg_.cpu;
+        perCore.cores = std::max(1, cfg_.cpu.cores / core.machine().coreCount());
+        slot = std::make_unique<sim::CpuModel>(core, perCore);
+    }
+    return *slot;
+}
+
+sim::Future<sim::Unit> SegmentStore::chargeRequest(uint32_t containerId, uint64_t bytes) {
+    sim::Core& core = containerCore(containerId);
+    sim::CpuModel& cpu = cpuFor(core);
+    sim::Machine& machine = exec_.machine();
+    if (core.id() == machine.runningCore()) {
+        // Same shard: charge directly (the pre-shard fast path).
+        return cpu.execute(bytes);
+    }
+    sim::Promise<sim::Unit> p;
+    auto fut = p.future();
+    machine.submitTo(core.id(), [&cpu, bytes, p]() mutable {
+        cpu.execute(bytes).onComplete(
+            [p](const Result<sim::Unit>& r) mutable { p.complete(r); });
+    });
+    return fut;
+}
 
 Status SegmentStore::addContainer(uint32_t containerId) {
     if (containers_.contains(containerId)) {
         return Status(Err::AlreadyExists, "container already hosted");
     }
-    auto container = std::make_unique<SegmentContainer>(exec_, containerId, walEnv_, host_, lts_,
+    sim::Core& core = containerCore(containerId);
+    // The container's whole environment — WAL client, storage writer,
+    // read pipeline — lives on its placed core. WalEnv holds references,
+    // so a fresh env is built around the container core.
+    wal::WalEnv env{core, walEnv_.net, walEnv_.registry, walEnv_.logMeta, walEnv_.bookies};
+    auto container = std::make_unique<SegmentContainer>(core, containerId, env, host_, lts_,
                                                         cache_, cfg_.container);
     Status started = container->start();
     if (!started) return started;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -26,8 +27,13 @@ public:
         BlockCache::Config cache;
     };
 
-    SegmentStore(sim::Executor& exec, sim::HostId host, wal::WalEnv walEnv,
-                 lts::ChunkStorage& lts, Config cfg);
+    /// Maps a container id to the Core shard hosting it. Empty placement
+    /// pins every container to the store's frontend core (`exec`), which is
+    /// exactly the pre-shard behavior.
+    using ContainerPlacement = std::function<sim::Core&(uint32_t)>;
+
+    SegmentStore(sim::Core& exec, sim::HostId host, wal::WalEnv walEnv,
+                 lts::ChunkStorage& lts, Config cfg, ContainerPlacement placement = {});
 
     sim::HostId host() const { return host_; }
 
@@ -42,11 +48,19 @@ public:
     bool hasContainer(uint32_t containerId) const { return containers_.contains(containerId); }
     std::vector<uint32_t> containerIds() const;
 
-    /// Charges request-handling CPU for a request carrying `bytes`.
-    sim::Future<sim::Unit> chargeRequest(uint64_t bytes) { return cpu_.execute(bytes); }
+    /// The Core shard hosting `containerId` under the store's placement.
+    sim::Core& containerCore(uint32_t containerId);
+
+    /// Charges request-handling CPU for a request to `containerId` carrying
+    /// `bytes`. The charge lands on the container's core — a request
+    /// arriving on another shard hops through the machine mailbox first
+    /// (paying hand-off latency), so per-core CPU partitions saturate
+    /// independently and throughput scales with core count.
+    sim::Future<sim::Unit> chargeRequest(uint32_t containerId, uint64_t bytes);
 
     BlockCache& cache() { return cache_; }
-    sim::CpuModel& cpu() { return cpu_; }
+    /// The frontend core's CPU partition.
+    sim::CpuModel& cpu() { return cpuFor(exec_); }
 
     /// Aggregated per-segment rates across hosted containers (feedback
     /// loop to the control plane, §3.1) plus total bytes for Fig 13's
@@ -54,12 +68,18 @@ public:
     std::map<SegmentId, SegmentRate> drainRates();
 
 private:
-    sim::Executor& exec_;
+    /// Find-or-create the CPU partition of `core`. The configured lane
+    /// count is split evenly across the machine's cores, so total modeled
+    /// CPU capacity is independent of the shard count.
+    sim::CpuModel& cpuFor(sim::Core& core);
+
+    sim::Core& exec_;
     sim::HostId host_;
     wal::WalEnv walEnv_;
     lts::ChunkStorage& lts_;
     Config cfg_;
-    sim::CpuModel cpu_;
+    ContainerPlacement placement_;
+    std::map<int, std::unique_ptr<sim::CpuModel>> cpuByCore_;
     BlockCache cache_;
     std::map<uint32_t, std::unique_ptr<SegmentContainer>> containers_;
 };

@@ -31,7 +31,7 @@ Result<ChunkRecord> ChunkRecord::deserialize(BytesView data) {
     return ChunkRecord{std::move(name.value()), startOffset.value(), length.value()};
 }
 
-StorageWriter::StorageWriter(sim::Executor& exec, SegmentContainer& container,
+StorageWriter::StorageWriter(sim::Core& exec, SegmentContainer& container,
                              lts::ChunkStorage& storage, StorageWriterConfig cfg)
     : exec_(exec),
       container_(container),

@@ -16,7 +16,7 @@
 #include "lts/chunk_storage.h"
 #include "obs/metrics.h"
 #include "segmentstore/types.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/future.h"
 
 namespace pravega::segmentstore {
@@ -49,7 +49,7 @@ struct ChunkRecord {
 
 class StorageWriter {
 public:
-    StorageWriter(sim::Executor& exec, SegmentContainer& container, lts::ChunkStorage& storage,
+    StorageWriter(sim::Core& exec, SegmentContainer& container, lts::ChunkStorage& storage,
                   StorageWriterConfig cfg);
 
     void start();
@@ -108,7 +108,7 @@ private:
     std::string chunkKey(SegmentId segment, int64_t index) const;
     std::string chunkName(SegmentId segment, int64_t startOffset) const;
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     SegmentContainer& container_;
     lts::ChunkStorage& storage_;
     StorageWriterConfig cfg_;

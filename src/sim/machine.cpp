@@ -1,0 +1,142 @@
+#include "sim/machine.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/hash.h"
+#include "obs/metrics.h"
+
+namespace pravega::sim {
+
+Core::Core(Machine& machine, int id, uint64_t rngSeed)
+    : machine_(&machine),
+      id_(id),
+      rng_(rngSeed),
+      metrics_(std::make_unique<obs::MetricsRegistry>(
+          [m = &machine] { return m->now(); })) {}
+
+Core::~Core() = default;
+
+void Core::push(Duration delay, Task fn, bool weak) {
+    assert(delay >= 0 && "cannot schedule into the past");
+    if (!weak) ++regularPending_;
+    queue_.push(Entry{machine_->now() + delay, seq_++, weak, std::move(fn)});
+}
+
+Core::Entry Core::pop() {
+    // priority_queue::top() is const; move out via const_cast, standard idiom
+    // for pop-and-consume queues of move-only payloads.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (!e.weak) --regularPending_;
+    return e;
+}
+
+Machine::Machine(MachineConfig cfg) : cfg_(cfg) {
+    assert(cfg_.cores > 0);
+    cores_.reserve(static_cast<size_t>(cfg_.cores));
+    for (int c = 0; c < cfg_.cores; ++c) {
+        cores_.emplace_back(new Core(*this, c,
+                                     pravega::mix64(cfg_.rngSeed ^
+                                                    static_cast<uint64_t>(c + 1))));
+    }
+}
+
+Machine::~Machine() = default;
+
+void Machine::submitTo(int core, Core::Task task) {
+    assert(core >= 0 && core < coreCount());
+    if (core == runningCore_) {
+        // Same shard: a direct call, exactly like the pre-shard substrate's
+        // synchronous dispatch (and like sharded runtimes' same-shard
+        // submits). Keeps 1-core runs byte-identical to the seed traces.
+        task();
+        return;
+    }
+    ++xcoreMessages_;
+    // Hand-off latency models the mailbox: queue transfer + remote wake-up.
+    // Harness submits (runningCore_ == -1) are world setup, not modeled
+    // shard-to-shard traffic, and pay nothing.
+    Duration cost = runningCore_ >= 0 ? cfg_.handoffLatency : 0;
+    if (runningCore_ >= 0) {
+        cores_[static_cast<size_t>(runningCore_)]
+            ->metrics()
+            .counter("sim.xcore.sent")
+            .inc();
+    }
+    cores_[static_cast<size_t>(core)]->schedule(cost, std::move(task));
+}
+
+int Machine::pickNext() const {
+    int best = -1;
+    for (int c = 0; c < coreCount(); ++c) {
+        const auto& q = cores_[static_cast<size_t>(c)]->queue_;
+        if (q.empty()) continue;
+        if (best < 0) {
+            best = c;
+            continue;
+        }
+        const Core::Entry& a = q.top();
+        const Core::Entry& b = cores_[static_cast<size_t>(best)]->queue_.top();
+        // Global merge order: (time, core id, per-core seq). Core id breaks
+        // same-time ties across shards; per-core seq orders within a shard.
+        if (a.at < b.at) best = c;
+    }
+    return best;
+}
+
+bool Machine::runOne() {
+    int c = pickNext();
+    if (c < 0) return false;
+    Core& core = *cores_[static_cast<size_t>(c)];
+    Core::Entry e = core.pop();
+    assert(e.at >= now_ && "merge order regressed the clock");
+    now_ = e.at;
+    runningCore_ = c;
+    e.fn();
+    runningCore_ = -1;
+    return true;
+}
+
+uint64_t Machine::runUntilIdle() {
+    uint64_t n = 0;
+    while (pendingRegularTasks() > 0 && runOne()) ++n;
+    return n;
+}
+
+uint64_t Machine::runUntil(TimePoint deadline) {
+    uint64_t n = 0;
+    for (;;) {
+        int c = pickNext();
+        if (c < 0 || cores_[static_cast<size_t>(c)]->queue_.top().at > deadline) break;
+        runOne();
+        ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+size_t Machine::pendingTasks() const {
+    size_t n = 0;
+    for (const auto& c : cores_) n += c->pendingTasks();
+    return n;
+}
+
+size_t Machine::pendingRegularTasks() const {
+    size_t n = 0;
+    for (const auto& c : cores_) n += c->pendingRegularTasks();
+    return n;
+}
+
+const obs::MetricsRegistry& Machine::mergedMetrics() {
+    if (cores_.size() == 1) return cores_[0]->metrics();
+    // Rebuild the snapshot from scratch: per-core partitions stay the
+    // source of truth, and same-name instruments across cores fold into a
+    // single merged instrument (find-or-create + accumulate — the fix for
+    // the counter double-registration two cores would otherwise cause).
+    merged_ = std::make_unique<obs::MetricsRegistry>([this] { return now_; });
+    for (const auto& c : cores_) merged_->mergeFrom(c->metrics());
+    return *merged_;
+}
+
+}  // namespace pravega::sim

@@ -5,7 +5,7 @@
 
 namespace pravega::sim {
 
-QueuedResource::QueuedResource(Executor& exec, int lanes) : exec_(exec) {
+QueuedResource::QueuedResource(Core& exec, int lanes) : exec_(exec) {
     assert(lanes > 0);
     laneFree_.assign(static_cast<size_t>(lanes), 0);
 }
@@ -36,7 +36,7 @@ Future<Unit> QueuedResource::acquire(Duration work) {
     return p.future();
 }
 
-DiskModel::DiskModel(Executor& exec, Config cfg)
+DiskModel::DiskModel(Core& exec, Config cfg)
     : exec_(exec),
       cfg_(cfg),
       mWrites_(exec.metrics().counter("sim.disk.writes")),
@@ -68,7 +68,7 @@ Future<Unit> DiskModel::write(uint64_t fileId, uint64_t bytes, bool fsync) {
     return p.future();
 }
 
-Link::Link(Executor& exec, Config cfg, uint64_t faultSeed)
+Link::Link(Core& exec, Config cfg, uint64_t faultSeed)
     : exec_(exec),
       cfg_(cfg),
       faultRng_(faultSeed),
@@ -85,7 +85,7 @@ void Link::recordDrop(uint64_t DropCounts::*kind, const char* kindName) {
     }
 }
 
-void Link::deliver(uint64_t bytes, Executor::Task fn) {
+void Link::deliver(uint64_t bytes, Core::Task fn) {
     if (partitioned_) {
         recordDrop(&DropCounts::partition, "partition");
         return;
@@ -130,7 +130,7 @@ void Link::clearFaults() {
     degradeUntil_ = 0;
 }
 
-ObjectStoreModel::ObjectStoreModel(Executor& exec, Config cfg)
+ObjectStoreModel::ObjectStoreModel(Core& exec, Config cfg)
     : exec_(exec),
       cfg_(cfg),
       lanes_(exec, cfg.maxConcurrent),

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/future.h"
 #include "sim/random.h"
 #include "sim/time.h"
@@ -26,7 +26,7 @@ namespace pravega::sim {
 /// parallel connections to an object store.
 class QueuedResource {
 public:
-    QueuedResource(Executor& exec, int lanes);
+    QueuedResource(Core& exec, int lanes);
 
     /// Occupies a lane for `work` time; the future completes when done.
     Future<Unit> acquire(Duration work);
@@ -38,7 +38,7 @@ public:
     Duration backlog() const;
 
 private:
-    Executor& exec_;
+    Core& exec_;
     std::vector<TimePoint> laneFree_;
 };
 
@@ -56,7 +56,7 @@ public:
         Duration fileSwitchPenalty = usec(150);    // cost of targeting a different file
     };
 
-    DiskModel(Executor& exec, Config cfg);
+    DiskModel(Core& exec, Config cfg);
 
     /// Appends `bytes` to file `fileId`; `fsync` makes the write durable
     /// before completion. Writes are serialized at the device.
@@ -69,7 +69,7 @@ public:
     const Config& config() const { return cfg_; }
 
 private:
-    Executor& exec_;
+    Core& exec_;
     Config cfg_;
     TimePoint nextFree_ = 0;
     uint64_t lastFile_ = UINT64_MAX;
@@ -109,7 +109,7 @@ public:
         uint64_t total() const { return partition + forced + loss; }
     };
 
-    Link(Executor& exec, Config cfg, uint64_t faultSeed = 0x11C4C11ULL);
+    Link(Core& exec, Config cfg, uint64_t faultSeed = 0x11C4C11ULL);
 
     /// Endpoint label ("<from>-><to>") for per-link registry counters;
     /// set by Network when it creates the link.
@@ -117,7 +117,7 @@ public:
     const std::string& label() const { return label_; }
 
     /// Delivers `fn` on the far side after transfer of `bytes`.
-    void deliver(uint64_t bytes, Executor::Task fn);
+    void deliver(uint64_t bytes, Core::Task fn);
 
     // ---- fault controls (chaos layer) ----------------------------------
     void setPartitioned(bool on) { partitioned_ = on; }
@@ -138,7 +138,7 @@ public:
 private:
     void recordDrop(uint64_t DropCounts::*kind, const char* kindName);
 
-    Executor& exec_;
+    Core& exec_;
     Config cfg_;
     TimePoint nextFree_ = 0;
     uint64_t bytesSent_ = 0;
@@ -171,7 +171,7 @@ public:
         double bytesPerSec = 4.0 * 1024 * 1024 * 1024;  // memcpy/checksum rate
     };
 
-    CpuModel(Executor& exec, Config cfg) : res_(exec, cfg.cores), cfg_(cfg) {}
+    CpuModel(Core& exec, Config cfg) : res_(exec, cfg.cores), cfg_(cfg) {}
 
     /// Charges the cost of handling one request carrying `bytes`.
     Future<Unit> execute(uint64_t bytes) {
@@ -201,7 +201,7 @@ public:
         int maxConcurrent = 64;
     };
 
-    ObjectStoreModel(Executor& exec, Config cfg);
+    ObjectStoreModel(Core& exec, Config cfg);
 
     Future<Unit> put(uint64_t bytes) { return transfer(bytes); }
     Future<Unit> get(uint64_t bytes) { return transfer(bytes); }
@@ -214,7 +214,7 @@ public:
 private:
     Future<Unit> transfer(uint64_t bytes);
 
-    Executor& exec_;
+    Core& exec_;
     Config cfg_;
     QueuedResource lanes_;
     TimePoint aggCursor_ = 0;  // virtual finish line of the shared pipe

@@ -26,8 +26,21 @@ using HostId = int;
 
 class Network {
 public:
-    Network(Executor& exec, Link::Config cfg, uint64_t faultSeed = 0x5EED0FFAULL)
+    Network(Core& exec, Link::Config cfg, uint64_t faultSeed = 0x5EED0FFAULL)
         : exec_(exec), cfg_(cfg), faultSeed_(faultSeed) {}
+
+    /// Pins `host` to a Core shard: links INTO the host deliver on that
+    /// core, so a message lands on the shard that owns the receiver's
+    /// state. Unpinned hosts deliver on the network's default core. Pin
+    /// before the first message to/from the host — links bind their core
+    /// at creation.
+    void pinHost(HostId host, Core& core) { pins_[host] = &core; }
+
+    /// The Core shard a host is pinned to (default core when unpinned).
+    Core& coreOf(HostId host) {
+        auto it = pins_.find(host);
+        return it == pins_.end() ? exec_ : *it->second;
+    }
 
     /// The unidirectional link from `from` to `to` (created on first use).
     Link& link(HostId from, HostId to) {
@@ -37,14 +50,14 @@ public:
             uint64_t seed = pravega::mix64(
                 faultSeed_ ^ (static_cast<uint64_t>(static_cast<uint32_t>(from)) << 32 |
                               static_cast<uint32_t>(to)));
-            it = links_.emplace(key, std::make_unique<Link>(exec_, cfg_, seed)).first;
+            it = links_.emplace(key, std::make_unique<Link>(coreOf(to), cfg_, seed)).first;
             it->second->setLabel(std::to_string(from) + "->" + std::to_string(to));
         }
         return *it->second;
     }
 
     /// Convenience: deliver `fn` at `to` after sending `bytes` from `from`.
-    void send(HostId from, HostId to, uint64_t bytes, Executor::Task fn) {
+    void send(HostId from, HostId to, uint64_t bytes, Core::Task fn) {
         link(from, to).deliver(bytes, std::move(fn));
     }
 
@@ -136,9 +149,10 @@ private:
         return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
     }
 
-    Executor& exec_;
+    Core& exec_;
     Link::Config cfg_;
     uint64_t faultSeed_;
+    std::map<HostId, Core*> pins_;
     std::map<std::pair<HostId, HostId>, std::unique_ptr<Link>> links_;
     std::set<std::pair<HostId, HostId>> partitioned_;
 };

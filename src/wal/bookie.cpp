@@ -7,7 +7,7 @@
 
 namespace pravega::wal {
 
-Bookie::Bookie(sim::Executor& exec, sim::HostId host, sim::DiskModel& journalDrive, Config cfg)
+Bookie::Bookie(sim::Core& exec, sim::HostId host, sim::DiskModel& journalDrive, Config cfg)
     : exec_(exec),
       host_(host),
       journal_(journalDrive),

@@ -48,7 +48,7 @@ public:
         sim::Duration perEntryLatency = sim::usec(4);
     };
 
-    Bookie(sim::Executor& exec, sim::HostId host, sim::DiskModel& journalDrive, Config cfg);
+    Bookie(sim::Core& exec, sim::HostId host, sim::DiskModel& journalDrive, Config cfg);
 
     sim::HostId host() const { return host_; }
 
@@ -103,7 +103,7 @@ private:
     void maybeStartFlush();
     void rebuildFromJournal();
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::HostId host_;
     sim::DiskModel& journal_;
     Config cfg_;

@@ -7,7 +7,7 @@
 
 namespace pravega::wal {
 
-LedgerHandle::LedgerHandle(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+LedgerHandle::LedgerHandle(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                            LedgerRegistry& registry, LedgerId id, ReplicationConfig repl)
     : exec_(exec),
       net_(net),

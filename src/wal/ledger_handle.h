@@ -78,7 +78,7 @@ public:
     /// Per-entry request/response framing on the wire.
     static constexpr uint64_t kWireOverhead = 64;
 
-    LedgerHandle(sim::Executor& exec, sim::Network& net, sim::HostId clientHost,
+    LedgerHandle(sim::Core& exec, sim::Network& net, sim::HostId clientHost,
                  LedgerRegistry& registry, LedgerId id, ReplicationConfig repl);
     ~LedgerHandle();
 
@@ -143,7 +143,7 @@ private:
     void drainConfirmed();
     bool fullyReplicated(const InFlight& inf) const;
 
-    sim::Executor& exec_;
+    sim::Core& exec_;
     sim::Network& net_;
     sim::HostId clientHost_;
     LedgerRegistry& registry_;

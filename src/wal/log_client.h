@@ -33,7 +33,7 @@ struct LogMetadataStore {
 
 /// Everything a LogClient needs from its environment.
 struct WalEnv {
-    sim::Executor& exec;
+    sim::Core& exec;
     sim::Network& net;
     LedgerRegistry& registry;
     LogMetadataStore& logMeta;

@@ -12,7 +12,7 @@ namespace pravega::baselines {
 namespace {
 
 struct KafkaFixture : public ::testing::Test {
-    sim::Executor exec;
+    sim::Machine exec;
     sim::Network net{exec, sim::Link::Config{}};
 
     std::unique_ptr<KafkaCluster> makeCluster(KafkaConfig cfg = {}) {
@@ -59,7 +59,7 @@ TEST_F(KafkaFixture, FlushModeIsSlower) {
         KafkaConfig cfg;
         cfg.flushEveryMessage = flushEveryMessage;
         cfg.disk.fsyncLatency = sim::usec(500);
-        sim::Executor e2;
+        sim::Machine e2;
         sim::Network n2{e2, sim::Link::Config{}};
         KafkaCluster kafka(e2, n2, 500, cfg);
         kafka.createTopic("t", 1);
@@ -108,7 +108,7 @@ TEST_F(KafkaFixture, ProducerBufferLimitRejectsWhenFull) {
 }
 
 struct PulsarFixture : public ::testing::Test {
-    sim::Executor exec;
+    sim::Machine exec;
     sim::Network net{exec, sim::Link::Config{}};
     sim::DiskModel::Config diskCfg;
     std::vector<std::unique_ptr<sim::DiskModel>> disks;
@@ -183,7 +183,7 @@ TEST_F(PulsarFixture, NoBatchingLowersLatency) {
     auto measureAck = [&](bool batching) {
         PulsarConfig cfg;
         cfg.batchingEnabled = batching;
-        sim::Executor e2;
+        sim::Machine e2;
         sim::Network n2{e2, sim::Link::Config{}};
         // fresh bookies per run
         sim::DiskModel::Config dcfg;

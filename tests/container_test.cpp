@@ -11,7 +11,7 @@ namespace pravega::segmentstore {
 namespace {
 
 struct ContainerFixture : public ::testing::Test {
-    sim::Executor exec;
+    sim::Machine exec;
     sim::Network net{exec, sim::Link::Config{}};
     sim::DiskModel::Config diskCfg;
     std::vector<std::unique_ptr<sim::DiskModel>> disks;
@@ -380,7 +380,7 @@ TEST_F(ContainerFixture, FencingTakesContainerOffline) {
 }
 
 TEST_F(ContainerFixture, ThrottlingDelaysAppendsWhenLtsBacklogged) {
-    sim::Executor exec2;
+    sim::Machine exec2;
     // An LTS that cannot keep up: 1 MB/s.
     sim::ObjectStoreModel::Config slowCfg;
     slowCfg.perStreamBytesPerSec = 1024 * 1024;
@@ -459,7 +459,7 @@ TEST_F(ContainerFixture, DrainRatesReportsPerSegmentTraffic) {
 /// in-memory backend completes synchronously, which would hide coalescing).
 class DelayedChunkStorage : public lts::ChunkStorage {
 public:
-    DelayedChunkStorage(sim::Executor& exec, lts::ChunkStorage& inner, sim::Duration readDelay)
+    DelayedChunkStorage(sim::Machine& exec, lts::ChunkStorage& inner, sim::Duration readDelay)
         : exec_(exec), inner_(inner), delay_(readDelay) {}
 
     sim::Future<sim::Unit> create(const std::string& name) override { return inner_.create(name); }
@@ -485,7 +485,7 @@ public:
     uint64_t readOps() const override { return reads_; }
 
 private:
-    sim::Executor& exec_;
+    sim::Machine& exec_;
     lts::ChunkStorage& inner_;
     sim::Duration delay_;
     uint64_t reads_ = 0;

@@ -20,7 +20,7 @@
 #include "detect/scoring.h"
 #include "detect/slo.h"
 #include "obs/metrics.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 
 namespace pravega {
 namespace {
@@ -262,7 +262,7 @@ TEST(SloRuleTest, RejectsMalformedRules) {
 }
 
 TEST(SloGuardrailTest, WindowedBreachFiresOncePerEpisodeAndColdStartIsVacuous) {
-    sim::Executor exec;
+    sim::Machine exec;
     auto& hist = exec.metrics().histogram("lat");
     auto rule = SloRule::parse("p99(lat) < 5ms for 30ms");
     ASSERT_TRUE(rule.isOk());
@@ -411,7 +411,7 @@ TEST(ChaosGroundTruthTest, FaultWindowsPairOpenersAndSkipClosers) {
 // --------------------------------------------------- monitor sampling edges
 
 TEST(MonitorTest, SkipsColdStartsAndMissingInstrumentsWithoutAlarming) {
-    sim::Executor exec;
+    sim::Machine exec;
     Monitor::Config mcfg;
     mcfg.period = sim::msec(10);
     Monitor monitor(exec, mcfg);

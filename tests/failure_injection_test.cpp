@@ -24,7 +24,7 @@ using segmentstore::makeSegmentId;
 // ------------------- decorator unit behavior -----------------------------
 
 TEST(FaultInjectionDecoratorTest, ReadFailureCountsExactlyOnce) {
-    sim::Executor exec;
+    sim::Machine exec;
     lts::InMemoryChunkStorage inner;
     lts::FaultInjectionChunkStorage flaky(exec, inner,
                                           lts::FaultInjectionChunkStorage::Config{});
@@ -38,7 +38,7 @@ TEST(FaultInjectionDecoratorTest, ReadFailureCountsExactlyOnce) {
 }
 
 TEST(FaultInjectionDecoratorTest, StatHonorsOutagesAndOpMask) {
-    sim::Executor exec;
+    sim::Machine exec;
     lts::InMemoryChunkStorage inner;
     inner.create("c");
     inner.append("c", SharedBuf(toBytes("abc")));
@@ -70,7 +70,7 @@ TEST(FaultInjectionDecoratorTest, StatHonorsOutagesAndOpMask) {
 // ------------------- container + flaky LTS (direct wiring) ---------------
 
 struct FlakyLtsFixture : public ::testing::Test {
-    sim::Executor exec;
+    sim::Machine exec;
     sim::Network net{exec, sim::Link::Config{}};
     sim::DiskModel::Config diskCfg;
     std::vector<std::unique_ptr<sim::DiskModel>> disks;

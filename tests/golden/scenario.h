@@ -1,0 +1,113 @@
+// Golden-trace scenario shared between the one-shot capture tool (run
+// against the pre-shard `sim::Executor`) and the regression test in
+// tests/sim_test.cpp (run against a 1-core `sim::Machine`). The template
+// parameter is whatever exposes the classic single-threaded scheduling
+// surface: schedule/scheduleWeak/post/now/metrics/runUntilIdle/runFor/
+// runOne/pendingTasks. The committed golden file
+// tests/golden/sim_trace_seed.txt holds the byte-exact output of the
+// pre-refactor substrate; the sharded N=1 machine must reproduce it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace pravega::golden {
+
+template <class Exec>
+std::string runSimTraceScenario(Exec& exec) {
+    std::string trace;
+    auto log = [&trace, &exec](const char* label) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "t=%lld %s\n",
+                      static_cast<long long>(exec.now()), label);
+        trace += buf;
+    };
+
+    obs::MetricsRegistry& reg = exec.metrics();
+    obs::Counter& events = reg.counter("golden.events");
+    obs::LatencyHistogram& lat = reg.histogram("golden.lat");
+    obs::RateMeter& rate = reg.meter("golden.rate");
+
+    // Deterministic RNG drives payload "sizes" mixed into the trace.
+    sim::Rng rng(0x9E3779B97F4A7C15ULL);
+
+    // Same-time FIFO tie-break: three tasks at t=100 must run in submit
+    // order, and a post() from inside an event lands after already-queued
+    // same-time tasks.
+    exec.schedule(100, [&] {
+        log("tie.a");
+        exec.post([&] { log("tie.a.post"); });
+    });
+    exec.schedule(100, [&] { log("tie.b"); });
+    exec.schedule(100, [&] { log("tie.c"); });
+
+    // Nested chains with RNG-derived delays.
+    exec.schedule(50, [&] {
+        log("chain.0");
+        sim::Duration d = static_cast<sim::Duration>(10 + rng.nextBounded(490));
+        exec.schedule(d, [&] {
+            log("chain.1");
+            events.inc();
+            exec.schedule(static_cast<sim::Duration>(10 + rng.nextBounded(490)),
+                          [&] {
+                              log("chain.2");
+                              events.inc(2);
+                          });
+        });
+    });
+
+    // Weak self-rearming timer: must tick while regular work remains, never
+    // keep runUntilIdle busy by itself.
+    struct Rearm {
+        Exec& exec;
+        std::string& trace;
+        obs::RateMeter& rate;
+        int left;
+        void operator()() {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "t=%lld weak.tick\n",
+                          static_cast<long long>(exec.now()));
+            trace += buf;
+            rate.mark();
+            if (--left > 0) exec.scheduleWeak(250, *this);
+        }
+    };
+    exec.scheduleWeak(250, Rearm{exec, trace, rate, 8});
+
+    // Latency samples over virtual spans.
+    for (int i = 0; i < 5; ++i) {
+        sim::TimePoint start = exec.now();
+        exec.schedule(200 + 37 * i, [&lat, &exec, start] {
+            lat.record(exec.now() - start);
+        });
+    }
+
+    uint64_t ran = exec.runUntilIdle();
+    {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "idle ran=%llu now=%lld pending=%zu\n",
+                      static_cast<unsigned long long>(ran),
+                      static_cast<long long>(exec.now()), exec.pendingTasks());
+        trace += buf;
+    }
+
+    // runFor drains the remaining weak ticks and advances the clock even
+    // after the queue empties.
+    uint64_t ran2 = exec.runFor(5000);
+    {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "after ran=%llu now=%lld pending=%zu\n",
+                      static_cast<unsigned long long>(ran2),
+                      static_cast<long long>(exec.now()), exec.pendingTasks());
+        trace += buf;
+    }
+
+    trace += reg.dump();
+    return trace;
+}
+
+}  // namespace pravega::golden

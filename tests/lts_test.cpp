@@ -6,20 +6,20 @@
 #include <filesystem>
 
 #include "lts/chunk_storage.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 
 namespace pravega::lts {
 namespace {
 
 template <typename T>
-T waitValue(sim::Executor& exec, sim::Future<T> fut) {
+T waitValue(sim::Machine& exec, sim::Future<T> fut) {
     exec.runUntilIdle();
     EXPECT_TRUE(fut.isReady());
     EXPECT_TRUE(fut.result().isOk()) << fut.result().status().toString();
     return fut.result().value();
 }
 
-Status waitStatus(sim::Executor& exec, sim::Future<sim::Unit> fut) {
+Status waitStatus(sim::Machine& exec, sim::Future<sim::Unit> fut) {
     exec.runUntilIdle();
     EXPECT_TRUE(fut.isReady());
     return fut.result().status();
@@ -52,7 +52,7 @@ protected:
         if (!root_.empty()) std::filesystem::remove_all(root_);
     }
 
-    sim::Executor exec_;
+    sim::Machine exec_;
     std::unique_ptr<ChunkStorage> storage_;
     std::string root_;
 };
@@ -99,7 +99,7 @@ INSTANTIATE_TEST_SUITE_P(Backends, ChunkStorageSemantics,
                                            Backend::FileSystem));
 
 TEST(SimulatedObjectStorageTest, TransfersTakeModelTime) {
-    sim::Executor exec;
+    sim::Machine exec;
     sim::ObjectStoreModel::Config cfg;
     cfg.opLatency = sim::msec(8);
     SimulatedObjectStorage storage(exec, cfg);
@@ -113,7 +113,7 @@ TEST(SimulatedObjectStorageTest, TransfersTakeModelTime) {
 }
 
 TEST(SimulatedObjectStorageTest, ReportsBacklog) {
-    sim::Executor exec;
+    sim::Machine exec;
     sim::ObjectStoreModel::Config cfg;
     cfg.perStreamBytesPerSec = 1024 * 1024;
     cfg.aggregateBytesPerSec = 1024 * 1024;
@@ -126,7 +126,7 @@ TEST(SimulatedObjectStorageTest, ReportsBacklog) {
 }
 
 TEST(NoOpChunkStorageTest, DiscardsDataButTracksSizes) {
-    sim::Executor exec;
+    sim::Machine exec;
     NoOpChunkStorage storage;
     storage.create("c");
     storage.append("c", SharedBuf(toBytes("hello")));
@@ -142,7 +142,7 @@ TEST(NoOpChunkStorageTest, DiscardsDataButTracksSizes) {
 TEST(FileSystemChunkStorageTest, PersistsAcrossInstances) {
     std::string root = "/tmp/pravega-lts-persist-" + std::to_string(::getpid());
     std::filesystem::remove_all(root);
-    sim::Executor exec;
+    sim::Machine exec;
     {
         FileSystemChunkStorage storage(root);
         storage.create("c");

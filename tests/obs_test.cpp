@@ -12,7 +12,7 @@
 
 #include "cluster/pravega_cluster.h"
 #include "obs/metrics.h"
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/network.h"
 #include "sim/random.h"
 
@@ -108,7 +108,7 @@ TEST(ObsHistogramTest, DeltaSinceEmptyWindowAndClamping) {
 // ---------------------------------------------------------------- rate meter
 
 TEST(ObsRateMeterTest, RateFollowsVirtualTimeAndDecays) {
-    sim::Executor exec;
+    sim::Machine exec;
     auto& meter = exec.metrics().meter("test.rate", sim::kSecond);
 
     // 1000 marks in the first 500ms of virtual time.
@@ -133,7 +133,7 @@ TEST(ObsRateMeterTest, RateFollowsVirtualTimeAndDecays) {
 }
 
 TEST(ObsRateMeterTest, EmptyWindowReadsExactlyZero) {
-    sim::Executor exec;
+    sim::Machine exec;
     auto& meter = exec.metrics().meter("test.empty", sim::kSecond);
     // Never marked: zero at creation time and zero after any amount of
     // virtual time, including reads that race no events at all.
@@ -146,7 +146,7 @@ TEST(ObsRateMeterTest, EmptyWindowReadsExactlyZero) {
 }
 
 TEST(ObsRateMeterTest, ColdStartDoesNotInflateTheRate) {
-    sim::Executor exec;
+    sim::Machine exec;
     // 1s window, 10 buckets => 100ms minimum denominator.
     auto& meter = exec.metrics().meter("test.cold", sim::kSecond);
     // Mark instantly after creation: elapsed virtual time is 0, so a naive
@@ -160,7 +160,7 @@ TEST(ObsRateMeterTest, ColdStartDoesNotInflateTheRate) {
 }
 
 TEST(ObsRateMeterTest, LargeTimeJumpDecaysCleanlyAndRecovers) {
-    sim::Executor exec;
+    sim::Machine exec;
     auto& meter = exec.metrics().meter("test.jump", sim::kSecond);
     meter.mark(500);
     exec.runFor(sim::msec(200));
@@ -181,7 +181,7 @@ TEST(ObsRateMeterTest, LargeTimeJumpDecaysCleanlyAndRecovers) {
 // ----------------------------------------------------------------- registry
 
 TEST(ObsRegistryTest, FindOrCreateReturnsStableRefsAndDumpIsSorted) {
-    sim::Executor exec;
+    sim::Machine exec;
     auto& reg = exec.metrics();
     obs::Counter& c1 = reg.counter("z.last");
     reg.counter("a.first").inc(5);
@@ -392,6 +392,74 @@ TEST(ObsChaosTest, PartitionDropsAreAttributedPerLinkAndPerKind) {
         mapped += d.partition;
     }
     EXPECT_EQ(mapped, between.partition);
+}
+
+// ------------------------------------------------------------------- merge
+
+TEST(ObsMergeTest, RegistriesFoldWithoutDoubleRegistration) {
+    sim::TimePoint now = 0;
+    auto clock = [&now] { return now; };
+    obs::MetricsRegistry a(clock), b(clock), merged(clock);
+
+    // The same instrument name on two source registries (two cores) must
+    // fold into ONE merged instrument, accumulating both.
+    a.counter("req.count").inc(10);
+    b.counter("req.count").inc(5);
+    a.gauge("depth").set(2.5);
+    b.gauge("depth").set(1.5);
+    a.histogram("lat").record(1000);
+    b.histogram("lat").record(3000);
+    now = sim::msec(100);
+    a.meter("rate").mark(40);
+    b.meter("rate").mark(20);
+
+    merged.mergeFrom(a);
+    merged.mergeFrom(b);
+
+    EXPECT_EQ(merged.counterValue("req.count"), 15u);
+    EXPECT_DOUBLE_EQ(merged.findGauge("depth")->value(), 4.0);
+    const obs::LatencyHistogram* h = merged.findHistogram("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+    EXPECT_DOUBLE_EQ(h->maxNs(), 3000.0);
+    EXPECT_DOUBLE_EQ(h->sumNs(), 4000.0);
+    const obs::RateMeter* m = merged.findMeter("rate");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->total(), 60u);
+    // Identical ring geometry: in-window counts add exactly.
+    EXPECT_DOUBLE_EQ(m->perSecond(), a.findMeter("rate")->perSecond() +
+                                         b.findMeter("rate")->perSecond());
+}
+
+TEST(ObsMergeTest, HistogramMergePreservesPercentileStructure) {
+    obs::LatencyHistogram a, b, whole;
+    sim::Rng rng(42);
+    for (int i = 0; i < 2000; ++i) {
+        auto v = static_cast<sim::Duration>(1000 + rng.nextBounded(1000000));
+        ((i % 2) ? a : b).record(v);
+        whole.record(v);
+    }
+    a.mergeFrom(b);
+    // Merging buckets is exact: identical layout means identical quantiles.
+    for (double p : {50.0, 95.0, 99.0, 99.9}) {
+        EXPECT_DOUBLE_EQ(a.percentileNs(p), whole.percentileNs(p)) << "p" << p;
+    }
+    EXPECT_EQ(a.count(), whole.count());
+}
+
+TEST(ObsMergeTest, MeterMergeDecaysLikeASingleMeter) {
+    sim::TimePoint now = 0;
+    auto clock = [&now] { return now; };
+    obs::RateMeter a(clock), b(clock);
+    now = sim::msec(50);
+    a.mark(100);
+    b.mark(300);
+    // Let more than a full window pass: the merged rate must decay to zero
+    // exactly like a live meter's would (the merge advances both rings).
+    now = sim::msec(50) + 2 * sim::kSecond;
+    a.mergeFrom(b);
+    EXPECT_EQ(a.total(), 400u);
+    EXPECT_DOUBLE_EQ(a.perSecond(), 0.0);
 }
 
 }  // namespace

@@ -31,7 +31,7 @@ std::ostream& operator<<(std::ostream& os, const Scenario& s) { return os << s.n
 
 class RecoveryMatrix : public ::testing::TestWithParam<Scenario> {
 protected:
-    sim::Executor exec;
+    sim::Machine exec;
     sim::Network net{exec, sim::Link::Config{}};
     sim::DiskModel::Config diskCfg;
     std::vector<std::unique_ptr<sim::DiskModel>> disks;

@@ -1,10 +1,15 @@
-// Unit tests for the discrete-event substrate: executor, futures, and the
-// hardware models (disk, link, CPU, object store).
+// Unit tests for the discrete-event substrate: machine/cores, futures, and
+// the hardware models (disk, link, CPU, object store).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
-#include "sim/executor.h"
+#include "golden/scenario.h"
+#include "sim/machine.h"
 #include "sim/future.h"
 #include "sim/models.h"
 #include "sim/network.h"
@@ -12,8 +17,8 @@
 namespace pravega::sim {
 namespace {
 
-TEST(ExecutorTest, RunsInTimeOrder) {
-    Executor exec;
+TEST(MachineTest, RunsInTimeOrder) {
+    Machine exec;
     std::vector<int> order;
     exec.schedule(msec(3), [&]() { order.push_back(3); });
     exec.schedule(msec(1), [&]() { order.push_back(1); });
@@ -23,8 +28,8 @@ TEST(ExecutorTest, RunsInTimeOrder) {
     EXPECT_EQ(exec.now(), msec(3));
 }
 
-TEST(ExecutorTest, SameTimeIsFifo) {
-    Executor exec;
+TEST(MachineTest, SameTimeIsFifo) {
+    Machine exec;
     std::vector<int> order;
     for (int i = 0; i < 10; ++i) {
         exec.schedule(msec(1), [&, i]() { order.push_back(i); });
@@ -33,8 +38,8 @@ TEST(ExecutorTest, SameTimeIsFifo) {
     for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
-TEST(ExecutorTest, NestedScheduling) {
-    Executor exec;
+TEST(MachineTest, NestedScheduling) {
+    Machine exec;
     int fired = 0;
     exec.schedule(msec(1), [&]() {
         ++fired;
@@ -45,8 +50,8 @@ TEST(ExecutorTest, NestedScheduling) {
     EXPECT_EQ(exec.now(), msec(2));
 }
 
-TEST(ExecutorTest, RunUntilStopsAtDeadline) {
-    Executor exec;
+TEST(MachineTest, RunUntilStopsAtDeadline) {
+    Machine exec;
     int fired = 0;
     exec.schedule(msec(5), [&]() { ++fired; });
     exec.schedule(msec(15), [&]() { ++fired; });
@@ -57,8 +62,8 @@ TEST(ExecutorTest, RunUntilStopsAtDeadline) {
     EXPECT_EQ(fired, 2);
 }
 
-TEST(ExecutorTest, RunForAdvancesClockWhenIdle) {
-    Executor exec;
+TEST(MachineTest, RunForAdvancesClockWhenIdle) {
+    Machine exec;
     exec.runFor(sec(1));
     EXPECT_EQ(exec.now(), sec(1));
 }
@@ -136,7 +141,7 @@ TEST(FutureTest, WhenAllEmptyIsReady) {
 }
 
 TEST(QueuedResourceTest, SerializesSingleLane) {
-    Executor exec;
+    Machine exec;
     QueuedResource res(exec, 1);
     TimePoint first = 0, second = 0;
     res.acquire(msec(10)).onComplete([&](const Result<Unit>&) { first = exec.now(); });
@@ -147,7 +152,7 @@ TEST(QueuedResourceTest, SerializesSingleLane) {
 }
 
 TEST(QueuedResourceTest, ParallelLanes) {
-    Executor exec;
+    Machine exec;
     QueuedResource res(exec, 2);
     std::vector<TimePoint> done;
     for (int i = 0; i < 4; ++i) {
@@ -162,7 +167,7 @@ TEST(QueuedResourceTest, ParallelLanes) {
 }
 
 TEST(DiskModelTest, SequentialWritesToSameFileAvoidSwitchPenalty) {
-    Executor exec;
+    Machine exec;
     DiskModel::Config cfg;
     cfg.bytesPerSec = 1e9;
     cfg.writeLatency = usec(10);
@@ -175,7 +180,7 @@ TEST(DiskModelTest, SequentialWritesToSameFileAvoidSwitchPenalty) {
     disk.write(1, 0, false).onComplete([&](const Result<Unit>&) { sameFile = exec.now(); });
     exec.runUntilIdle();
 
-    Executor exec2;
+    Machine exec2;
     DiskModel disk2(exec2, cfg);
     disk2.write(1, 0, false);
     disk2.write(2, 0, false).onComplete([&](const Result<Unit>&) { twoFiles = exec2.now(); });
@@ -188,7 +193,7 @@ TEST(DiskModelTest, SequentialWritesToSameFileAvoidSwitchPenalty) {
 }
 
 TEST(DiskModelTest, FsyncAddsLatency) {
-    Executor exec;
+    Machine exec;
     DiskModel::Config cfg;
     cfg.writeLatency = usec(10);
     cfg.fileSwitchPenalty = 0;
@@ -201,7 +206,7 @@ TEST(DiskModelTest, FsyncAddsLatency) {
 }
 
 TEST(DiskModelTest, BandwidthDominatesLargeWrites) {
-    Executor exec;
+    Machine exec;
     DiskModel::Config cfg;
     cfg.bytesPerSec = 100.0 * 1024 * 1024;
     cfg.writeLatency = 0;
@@ -215,7 +220,7 @@ TEST(DiskModelTest, BandwidthDominatesLargeWrites) {
 }
 
 TEST(LinkTest, LatencyPlusSerialization) {
-    Executor exec;
+    Machine exec;
     Link::Config cfg;
     cfg.latency = msec(1);
     cfg.bytesPerSec = 1024 * 1024;  // 1 MB/s for easy math
@@ -227,7 +232,7 @@ TEST(LinkTest, LatencyPlusSerialization) {
 }
 
 TEST(LinkTest, MessagesQueueBehindEachOther) {
-    Executor exec;
+    Machine exec;
     Link::Config cfg;
     cfg.latency = 0;
     cfg.bytesPerSec = 1024;
@@ -242,7 +247,7 @@ TEST(LinkTest, MessagesQueueBehindEachOther) {
 }
 
 TEST(NetworkTest, LinksAreLazyAndPerPair) {
-    Executor exec;
+    Machine exec;
     Network net(exec, Link::Config{});
     Link& ab = net.link(1, 2);
     Link& ba = net.link(2, 1);
@@ -251,7 +256,7 @@ TEST(NetworkTest, LinksAreLazyAndPerPair) {
 }
 
 TEST(NetworkFaultTest, PartitionDropsBothDirectionsUntilHealed) {
-    Executor exec;
+    Machine exec;
     Network net(exec, Link::Config{});
     int delivered = 0;
     net.partition(1, 2);
@@ -271,7 +276,7 @@ TEST(NetworkFaultTest, PartitionDropsBothDirectionsUntilHealed) {
 }
 
 TEST(NetworkFaultTest, HealAllClearsEveryPartition) {
-    Executor exec;
+    Machine exec;
     Network net(exec, Link::Config{});
     net.partition(1, 2);
     net.partition(3, 4);
@@ -285,7 +290,7 @@ TEST(NetworkFaultTest, HealAllClearsEveryPartition) {
 }
 
 TEST(NetworkFaultTest, DropNextLosesExactlyThatManyMessages) {
-    Executor exec;
+    Machine exec;
     Network net(exec, Link::Config{});
     net.link(1, 2).dropNext(2);
     std::vector<int> arrived;
@@ -296,7 +301,7 @@ TEST(NetworkFaultTest, DropNextLosesExactlyThatManyMessages) {
 
 TEST(NetworkFaultTest, ProbabilisticLossIsSeedDeterministic) {
     auto run = [](uint64_t seed) {
-        Executor exec;
+        Machine exec;
         Network net(exec, Link::Config{}, seed);
         net.setLoss(1, 2, 0.5);
         std::vector<int> arrived;
@@ -316,7 +321,7 @@ TEST(NetworkFaultTest, ProbabilisticLossIsSeedDeterministic) {
 }
 
 TEST(NetworkFaultTest, DegradationWindowAddsLatencyThenExpires) {
-    Executor exec;
+    Machine exec;
     Network net(exec, Link::Config{});
     net.degrade(1, 2, msec(5), 1.0, msec(50));
     TimePoint slow = 0;
@@ -333,7 +338,7 @@ TEST(NetworkFaultTest, DegradationWindowAddsLatencyThenExpires) {
 }
 
 TEST(ObjectStoreTest, PerStreamCapGovernsSingleTransfer) {
-    Executor exec;
+    Machine exec;
     ObjectStoreModel::Config cfg;
     cfg.opLatency = 0;
     cfg.perStreamBytesPerSec = 100.0 * 1024 * 1024;
@@ -346,7 +351,7 @@ TEST(ObjectStoreTest, PerStreamCapGovernsSingleTransfer) {
 }
 
 TEST(ObjectStoreTest, ParallelTransfersExceedPerStreamCap) {
-    Executor exec;
+    Machine exec;
     ObjectStoreModel::Config cfg;
     cfg.opLatency = 0;
     cfg.perStreamBytesPerSec = 100.0 * 1024 * 1024;
@@ -367,7 +372,7 @@ TEST(ObjectStoreTest, ParallelTransfersExceedPerStreamCap) {
 }
 
 TEST(ObjectStoreTest, AggregateCapLimitsManyStreams) {
-    Executor exec;
+    Machine exec;
     ObjectStoreModel::Config cfg;
     cfg.opLatency = 0;
     cfg.perStreamBytesPerSec = 100.0 * 1024 * 1024;
@@ -384,7 +389,7 @@ TEST(ObjectStoreTest, AggregateCapLimitsManyStreams) {
 }
 
 TEST(ObjectStoreTest, BacklogVisibleForThrottling) {
-    Executor exec;
+    Machine exec;
     ObjectStoreModel::Config cfg;
     cfg.opLatency = 0;
     cfg.perStreamBytesPerSec = 10.0 * 1024 * 1024;
@@ -397,7 +402,7 @@ TEST(ObjectStoreTest, BacklogVisibleForThrottling) {
 }
 
 TEST(CpuModelTest, CoresRunInParallel) {
-    Executor exec;
+    Machine exec;
     CpuModel::Config cfg;
     cfg.cores = 4;
     cfg.perRequest = msec(1);
@@ -410,6 +415,112 @@ TEST(CpuModelTest, CoresRunInParallel) {
     ASSERT_EQ(done.size(), 8u);
     EXPECT_EQ(done[3], msec(1));
     EXPECT_EQ(done[7], msec(2));
+}
+
+// ---------------------------------------------------------------- sharding
+
+/// A deterministic multi-core scenario: work on every shard, cross-core
+/// mailbox hops, weak timers, RNG draws, and metrics — returns a trace
+/// string suitable for byte-equality assertions.
+std::string runShardScenario(Machine& m) {
+    std::string trace;
+    auto log = [&](int core, const char* label) {
+        trace += "t=" + std::to_string(m.now()) + " c" + std::to_string(core) +
+                 " " + label + "\n";
+    };
+    for (int c = 0; c < m.coreCount(); ++c) {
+        Core& core = m.core(c);
+        core.schedule(100 + 10 * c, [&, c] {
+            log(c, "work");
+            core.metrics().counter("shard.work").inc();
+            uint64_t draw = core.rng().nextBounded(1000);
+            trace += "  draw=" + std::to_string(draw) + "\n";
+            // Hop to the next shard through the mailbox.
+            int next = (c + 1) % m.coreCount();
+            m.submitTo(next, [&, next] { log(next, "hopped"); });
+        });
+        core.scheduleWeak(500, [&, c] { log(c, "weak"); });
+    }
+    m.runUntilIdle();
+    m.runFor(1000);
+    trace += "xcore=" + std::to_string(m.crossCoreMessages()) + "\n";
+    trace += m.mergedMetrics().dump();
+    return trace;
+}
+
+TEST(ShardingTest, SameSeedSameCoreCountIsByteIdentical) {
+    for (int cores : {2, 4, 8}) {
+        Machine a(cores), b(cores);
+        EXPECT_EQ(runShardScenario(a), runShardScenario(b)) << cores << " cores";
+    }
+}
+
+TEST(ShardingTest, CrossCoreHopPaysHandoffLatency) {
+    Machine m(2);
+    TimePoint hopAt = -1;
+    m.core(0).schedule(100, [&] { m.submitTo(1, [&] { hopAt = m.now(); }); });
+    m.runUntilIdle();
+    EXPECT_EQ(hopAt, 100 + m.config().handoffLatency);
+    EXPECT_EQ(m.crossCoreMessages(), 1u);
+}
+
+TEST(ShardingTest, SameShardSubmitRunsInline) {
+    Machine m(2);
+    bool ranInline = false;
+    m.core(1).schedule(100, [&] {
+        m.submitTo(1, [&] { ranInline = true; });
+        EXPECT_TRUE(ranInline) << "same-shard submit must be a direct call";
+    });
+    m.runUntilIdle();
+    EXPECT_TRUE(ranInline);
+    EXPECT_EQ(m.crossCoreMessages(), 0u);
+}
+
+TEST(ShardingTest, ClocksStayInLockstep) {
+    Machine m(4);
+    m.core(3).schedule(777, [&] {
+        for (int c = 0; c < 4; ++c) EXPECT_EQ(m.core(c).now(), 777);
+    });
+    m.runUntilIdle();
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(m.core(c).now(), m.now());
+}
+
+TEST(ShardingTest, MergedMetricsFoldsSameNameAcrossCores) {
+    Machine m(3);
+    for (int c = 0; c < 3; ++c) {
+        m.core(c).metrics().counter("shared.count").inc(static_cast<uint64_t>(c + 1));
+        m.core(c).metrics().histogram("shared.lat").record(1000 * (c + 1));
+    }
+    const obs::MetricsRegistry& merged = m.mergedMetrics();
+    EXPECT_EQ(merged.counterValue("shared.count"), 6u);
+    const obs::LatencyHistogram* h = merged.findHistogram("shared.lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 3u);
+    EXPECT_EQ(h->maxNs(), 3000.0);
+    // Per-core partitions are untouched by the merge.
+    EXPECT_EQ(m.core(0).metrics().counterValue("shared.count"), 1u);
+}
+
+TEST(ShardingTest, SingleCoreMergedMetricsIsTheHomeRegistry) {
+    Machine m;
+    m.metrics().counter("x").inc();
+    EXPECT_EQ(&m.mergedMetrics(), &m.metrics());
+}
+
+// Golden regression: the sharded substrate at N=1 must reproduce the
+// pre-refactor single-executor trace byte-for-byte. The golden file was
+// captured by running tests/golden/scenario.h against the legacy
+// sim::Executor at the commit that introduced the Machine.
+TEST(ShardingTest, SingleCoreReproducesPreShardGoldenTrace) {
+    std::filesystem::path golden =
+        std::filesystem::path(__FILE__).parent_path() / "golden" / "sim_trace_seed.txt";
+    std::ifstream in(golden);
+    ASSERT_TRUE(in.good()) << "missing golden file: " << golden;
+    std::stringstream want;
+    want << in.rdbuf();
+
+    Machine exec;
+    EXPECT_EQ(pravega::golden::runSimTraceScenario(exec), want.str());
 }
 
 }  // namespace

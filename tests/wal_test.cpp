@@ -6,7 +6,7 @@
 #include <algorithm>
 #include <set>
 
-#include "sim/executor.h"
+#include "sim/machine.h"
 #include "sim/network.h"
 #include "wal/bookie.h"
 #include "wal/ledger_handle.h"
@@ -16,7 +16,7 @@ namespace pravega::wal {
 namespace {
 
 struct WalFixture : public ::testing::Test {
-    sim::Executor exec;
+    sim::Machine exec;
     sim::Network net{exec, sim::Link::Config{}};
     sim::DiskModel::Config diskCfg;
     std::vector<std::unique_ptr<sim::DiskModel>> disks;
