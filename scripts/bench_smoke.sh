@@ -112,11 +112,56 @@ BENCH_SMOKE=1 BENCH_DUMP_METRICS=1 BENCH_OUT_DIR="${DET_A}" \
   "${BENCH_DIR}/bench_micro_core" > "${DET_A}/stdout.txt"
 BENCH_SMOKE=1 BENCH_DUMP_METRICS=1 BENCH_OUT_DIR="${DET_B}" \
   "${BENCH_DIR}/bench_micro_core" > "${DET_B}/stdout.txt"
-# Scrub the (path-bearing) "wrote ..." line before comparing stdout.
-sed -i '/^# wrote /d' "${DET_A}/stdout.txt" "${DET_B}/stdout.txt"
-diff "${DET_A}/BENCH_micro_core.json" "${DET_B}/BENCH_micro_core.json" \
-  || { echo "BENCH_micro_core.json differs between same-seed runs" >&2; exit 1; }
+# Scrub the (path-bearing) "wrote ..." line and the wall-clock engine row
+# (events_per_sec is real time, everything else derives from virtual time)
+# before comparing stdout.
+sed -i '/^# wrote /d; /events_per_sec/d' "${DET_A}/stdout.txt" "${DET_B}/stdout.txt"
+python3 - "${DET_A}/BENCH_micro_core.json" "${DET_B}/BENCH_micro_core.json" <<'PY'
+import json, sys
+
+docs = []
+for path in sys.argv[1:3]:
+    d = json.load(open(path))
+    for row in d["rows"]:
+        row["values"].pop("events_per_sec", None)  # wall-clock, volatile
+    docs.append(d)
+assert docs[0] == docs[1], \
+    "BENCH_micro_core.json differs between same-seed runs (beyond events_per_sec)"
+print("determinism OK: JSON byte-identical modulo the wall-clock rate")
+PY
 diff "${DET_A}/stdout.txt" "${DET_B}/stdout.txt" \
   || { echo "metric dump differs between same-seed runs" >&2; exit 1; }
 
-echo "bench smoke OK (${ran} binaries, JSON valid, deterministic)"
+echo "== perf gate: engine events/sec vs committed baseline =="
+# The copy budget is deterministic and always enforced. The events/sec floor
+# is wall-clock and only meaningful on an unsanitized build on the reference
+# container; BENCH_PERF_GATE=0 skips it (scripts/check.sh sets this for the
+# ASan/UBSan/tsan suites, where the engine legitimately runs 3-8x slower).
+python3 - "${DET_A}/BENCH_micro_core.json" bench/baselines/BENCH_micro_core_baseline.json \
+  "${BENCH_PERF_GATE:-1}" <<'PY'
+import json, sys
+
+cur = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+gate_rate = sys.argv[3] != "0"
+row = next(r for r in cur["rows"] if r["series"] == "engine")
+copied = row["values"]["bytes_copied_per_event"]
+want = base["values"]["bytes_copied_per_event"]
+assert copied == want, (
+    f"copy budget changed: {copied} bytes copied per event, baseline {want} "
+    f"(exactly one client-side payload copy plus the reader-side fetch/hand-out)")
+if gate_rate:
+    got = row["values"]["events_per_sec"]
+    floor = base["values"]["events_per_sec"] * base["gate_fraction"]
+    assert got >= floor, (
+        f"DES engine regressed: {got:,.0f} events/s < gate {floor:,.0f} "
+        f"({base['gate_fraction']:.0%} of committed baseline "
+        f"{base['values']['events_per_sec']:,.0f}); set BENCH_PERF_GATE=0 to bypass")
+    print(f"perf gate OK: {got:,.0f} events/s >= {floor:,.0f}; "
+          f"copy budget {copied} B/event unchanged")
+else:
+    print(f"perf gate: rate floor SKIPPED (BENCH_PERF_GATE=0); "
+          f"copy budget {copied} B/event unchanged")
+PY
+
+echo "bench smoke OK (${ran} binaries, JSON valid, deterministic, perf-gated)"

@@ -133,6 +133,27 @@ def check_cores_rows(path, rows):
     return sum(len(v) for v in by_series.values())
 
 
+def check_micro_core(path, doc):
+    """bench_micro_core must publish the DES-engine row: scheduler events,
+    the wall-clock dispatch rate, and the deterministic copy budget."""
+    engine = [r for r in doc["rows"] if r["series"] == "engine"]
+    if len(engine) != 1:
+        fail(path, f"micro_core needs exactly one engine row, got {len(engine)}")
+    values = engine[0]["values"]
+    for key in ("events", "events_per_sec", "bytes_copied_per_event",
+                "copy_ops_per_event"):
+        if key not in values:
+            fail(path, f"engine row missing {key!r}")
+        check_number(path, values[key], f"engine.values.{key}")
+    if values["events"] <= 0:
+        fail(path, f'engine row executed no events: {values["events"]!r}')
+    if values["events_per_sec"] < 0:
+        fail(path, f'engine events_per_sec negative: {values["events_per_sec"]!r}')
+    if values["bytes_copied_per_event"] <= 0:
+        fail(path, "engine bytes_copied_per_event must be positive "
+                   "(the framing copy always counts)")
+
+
 def validate(path):
     with open(path, "r", encoding="utf-8") as f:
         try:
@@ -183,6 +204,8 @@ def validate(path):
         check_detection(path, doc["detection"])
         runs = len(doc["detection"]["runs"])
     cores_rows = check_cores_rows(path, doc["rows"])
+    if doc["name"] == "micro_core":
+        check_micro_core(path, doc)
     suffix = f", {runs} detection runs" if runs else ""
     if cores_rows:
         suffix += f", {cores_rows} cores-sweep rows"

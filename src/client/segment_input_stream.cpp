@@ -2,6 +2,7 @@
 
 #include "client/framing.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace pravega::client {
 
@@ -24,19 +25,31 @@ SegmentInputStream::SegmentInputStream(sim::Core& exec, sim::Network& net,
 SegmentInputStream::~SegmentInputStream() { *alive_ = false; }
 
 std::optional<Bytes> SegmentInputStream::readNextEvent() {
-    auto payload = decodeEvent(BytesView(buffer_), parsePos_);
-    if (!payload) {
+    if (failed_) return std::nullopt;  // a failed stream stays failed
+    uint32_t len = 0;
+    DecodeStatus st = peekEvent(buffer_, len);
+    if (st == DecodeStatus::Corrupt) {
+        // A length prefix above the protocol bound means the stream is
+        // desynchronized or the frame is damaged — retrying or resizing the
+        // fetch cannot fix it, so fail the stream instead of looping.
+        failed_ = true;
+        exec_.metrics().counter("client.frame.corrupt").inc();
+        PLOG_WARN("reader", "corrupt event frame at offset %lld (len=%u)",
+                  static_cast<long long>(bufferStart_), len);
+        if (onData_) onData_();
+        return std::nullopt;
+    }
+    if (st != DecodeStatus::Ok) {
         ensureFetching();
         return std::nullopt;
     }
-    Bytes out(payload->begin(), payload->end());
-    // Compact the buffer once fully parsed to bound memory.
-    if (parsePos_ >= buffer_.size()) {
-        bufferStart_ += static_cast<int64_t>(buffer_.size());
-        buffer_.clear();
-        parsePos_ = 0;
-        ensureFetching();
-    }
+    Bytes out(len);
+    buffer_.copyOut(kEventHeaderBytes, len, out.data());
+    // Trim the consumed prefix immediately: buffered memory stays bounded
+    // by the unconsumed backlog, never by total bytes read.
+    buffer_.trimFront(kEventHeaderBytes + static_cast<size_t>(len));
+    bufferStart_ += static_cast<int64_t>(kEventHeaderBytes) + len;
+    if (buffer_.empty()) ensureFetching();
     return out;
 }
 
@@ -88,14 +101,14 @@ void SegmentInputStream::onFetchComplete(const Result<segmentstore::ReadResult>&
     }
     const auto& res = r.value();
     if (!res.data.empty()) {
-        append(buffer_, BytesView(res.data));
+        buffer_.appendCopy(BytesView(res.data));
         fetchOffset_ += static_cast<int64_t>(res.data.size());
     }
     if (res.endOfSegment) endOfSegment_ = true;
     if (onData_) onData_();
     // Keep the pipe primed for tail reads unless we are done or the buffer
     // already holds plenty of unparsed data.
-    if (!endOfSegment_ && buffer_.size() - parsePos_ < cfg_.fetchBytes) ensureFetching();
+    if (!endOfSegment_ && buffer_.size() < cfg_.fetchBytes) ensureFetching();
 }
 
 }  // namespace pravega::client

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/buf_chain.h"
 #include "common/bytes.h"
 #include "controller/controller.h"
 #include "sim/network.h"
@@ -37,13 +38,17 @@ public:
     std::optional<Bytes> readNextEvent();
 
     /// True once the segment is sealed and every byte has been consumed.
-    bool endOfSegment() const { return endOfSegment_ && parsePos_ >= buffer_.size(); }
+    bool endOfSegment() const { return endOfSegment_ && buffer_.empty(); }
 
     /// Offset of the next unconsumed byte (reader-group release/checkpoint).
-    int64_t position() const { return bufferStart_ + static_cast<int64_t>(parsePos_); }
+    int64_t position() const { return bufferStart_; }
 
     /// Issues a fetch if the buffer is exhausted and none is in flight.
     void ensureFetching();
+
+    /// Unconsumed buffered bytes (bounded-memory regression tests: this
+    /// must track the consumer's backlog, not the total bytes fetched).
+    size_t bufferedBytes() const { return buffer_.size(); }
 
     segmentstore::SegmentId segment() const { return uri_.record.id; }
     const controller::SegmentUri& uri() const { return uri_; }
@@ -59,9 +64,13 @@ private:
     ReaderConfig cfg_;
     std::function<void()> onData_;
 
-    Bytes buffer_;
-    size_t parsePos_ = 0;
-    int64_t bufferStart_ = 0;   // stream offset of buffer_[0]
+    /// Unconsumed fetched bytes. Fetch completions append fragments; every
+    /// consumed event trims the chain's front, so buffered memory stays
+    /// bounded by the unconsumed backlog even under endless tail reads
+    /// (the old flat buffer only compacted when FULLY parsed, which a
+    /// steady tail-read never reaches — it grew without bound).
+    BufChain buffer_;
+    int64_t bufferStart_ = 0;   // stream offset of the chain front
     int64_t fetchOffset_ = 0;   // next offset to request
     bool fetching_ = false;
     bool endOfSegment_ = false;

@@ -114,6 +114,7 @@ void SegmentOutputStream::closeBlock() {
     // still be in flight, and numbering must start after the server's last
     // recorded event number (§3.2). sendBlock() numbers each block exactly
     // once, in send order, after setup completes.
+    open_.payload = SharedBuf(std::move(open_.data));  // freeze: move, not copy
     sendQueue_.push_back(std::move(open_));
     open_ = Block{};
     trySend();
@@ -135,7 +136,7 @@ void SegmentOutputStream::trySend() {
 }
 
 void SegmentOutputStream::sendBlock(Block block) {
-    uint64_t wireBytes = block.data.size() + cfg_.wireOverheadBytes;
+    uint64_t wireBytes = block.payload.size() + cfg_.wireOverheadBytes;
     outstandingBytes_ += wireBytes;
     block.sentAt = exec_.now();
     if (block.lastEventNumber < 0) {
@@ -143,7 +144,7 @@ void SegmentOutputStream::sendBlock(Block block) {
         // batch accumulated before hitting the wire.
         mBlocks_.inc();
         mEvents_.inc(block.events.size());
-        mBlockBytes_.record(static_cast<sim::Duration>(block.data.size()));
+        mBlockBytes_.record(static_cast<sim::Duration>(block.payload.size()));
         mBatchWaitNs_.record(block.sentAt - block.openedAt);
         // Number the block's events. Retransmitted blocks keep their
         // numbers so the server can dedup them.
@@ -152,7 +153,7 @@ void SegmentOutputStream::sendBlock(Block block) {
         nextEventNumber_ = block.lastEventNumber + 1;
     }
 
-    SharedBuf payload = SharedBuf::copyOf(BytesView(block.data));
+    SharedBuf payload = block.payload;  // shared ref; retained for retransmit
     int64_t lastEventNumber = block.lastEventNumber;
     uint32_t eventCount = static_cast<uint32_t>(block.events.size());
     uint64_t epoch = connectionEpoch_;
@@ -227,9 +228,12 @@ void SegmentOutputStream::handleSealed(Block first) {
     // in original order, preserving per-key order (§3.2).
     std::vector<ResendEvent> events;
     auto harvest = [&events](Block& b) {
+        // Closed blocks were frozen into `payload`; only the open block
+        // still accumulates in `data`.
+        BytesView src = b.payload.empty() ? BytesView(b.data) : b.payload.view();
         size_t pos = 0;
         for (auto& e : b.events) {
-            auto payload = decodeEvent(BytesView(b.data), pos);
+            auto payload = decodeEvent(src, pos);
             ResendEvent re;
             if (payload) re.payload.assign(payload->begin(), payload->end());
             re.keyHash = e.keyHash;

@@ -89,7 +89,11 @@ public:
 
 private:
     struct Block {
-        Bytes data;
+        Bytes data;         // open-block accumulation buffer (framing target)
+        /// Frozen at closeBlock(): ownership of `data` moves here, and the
+        /// same immutable buffer is shared by the wire send, server-side
+        /// append, and any retransmit — the old per-send copyOf is gone.
+        SharedBuf payload;
         std::vector<EventRecord> events;
         int64_t lastEventNumber = -1;
         sim::TimePoint openedAt = 0;

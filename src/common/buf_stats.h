@@ -1,0 +1,35 @@
+// Copy accounting for the buffer abstraction.
+//
+// Every operation that duplicates payload bytes *through the buffer layer*
+// (client event framing, SharedBuf::copyOf, BufChain copy ops) records the
+// byte count here. Terminal media writes — memcpy into a cache block, the
+// byte store behind simulated LTS — are deliberately NOT counted: the copy
+// budget tracked here is "how many times does a payload cross the buffer
+// abstraction by value", which DESIGN.md §11 pins to exactly one (the
+// client framing copy) on the append path.
+//
+// Counters are always on (RelWithDebInfo defines NDEBUG, so assert-only
+// instrumentation would vanish from the default build) and are plain
+// non-atomic globals: the simulation substrate is single-threaded, and
+// benches/tests only read them between runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pravega::bufstats {
+
+inline uint64_t bytesCopied = 0;
+inline uint64_t copyOps = 0;
+
+inline void recordCopy(size_t n) {
+    bytesCopied += static_cast<uint64_t>(n);
+    ++copyOps;
+}
+
+inline void reset() {
+    bytesCopied = 0;
+    copyOps = 0;
+}
+
+}  // namespace pravega::bufstats

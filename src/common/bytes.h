@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buf_stats.h"
+
 namespace pravega {
 
 using Bytes = std::vector<uint8_t>;
@@ -37,6 +39,7 @@ public:
           size_(storage_->size()) {}
 
     static SharedBuf copyOf(BytesView view) {
+        bufstats::recordCopy(view.size());
         return SharedBuf(Bytes(view.begin(), view.end()));
     }
 

@@ -26,10 +26,12 @@ Future<Unit> InMemoryChunkStorage::create(const std::string& name) {
     return okUnit();
 }
 
-Future<Unit> InMemoryChunkStorage::append(const std::string& name, SharedBuf data) {
+Future<Unit> InMemoryChunkStorage::append(const std::string& name, BufChain data) {
     auto it = chunks_.find(name);
     if (it == chunks_.end()) return fail(Err::NotFound, "no such chunk");
-    pravega::append(it->second, data.view());
+    it->second.reserve(it->second.size() + data.size());
+    data.forEachFragment(
+        [&](const SharedBuf& frag) { pravega::append(it->second, frag.view()); });
     totalBytes_ += data.size();
     return okUnit();
 }
@@ -69,7 +71,7 @@ Future<Unit> SimulatedObjectStorage::create(const std::string& name) {
     return model_.put(0);
 }
 
-Future<Unit> SimulatedObjectStorage::append(const std::string& name, SharedBuf data) {
+Future<Unit> SimulatedObjectStorage::append(const std::string& name, BufChain data) {
     uint64_t n = data.size();
     auto stored = mem_.append(name, std::move(data));
     if (stored.isReady() && !stored.result().isOk()) return stored;
@@ -116,12 +118,15 @@ Future<Unit> FileSystemChunkStorage::create(const std::string& name) {
     return okUnit();
 }
 
-Future<Unit> FileSystemChunkStorage::append(const std::string& name, SharedBuf data) {
+Future<Unit> FileSystemChunkStorage::append(const std::string& name, BufChain data) {
     auto it = sizes_.find(name);
     if (it == sizes_.end()) return fail(Err::NotFound, "no such chunk");
     std::ofstream f(pathFor(name), std::ios::binary | std::ios::app);
     if (!f) return fail(Err::IoError, "cannot open chunk file");
-    f.write(reinterpret_cast<const char*>(data.data()), static_cast<std::streamsize>(data.size()));
+    data.forEachFragment([&](const SharedBuf& frag) {
+        f.write(reinterpret_cast<const char*>(frag.data()),
+                static_cast<std::streamsize>(frag.size()));
+    });
     if (!f) return fail(Err::IoError, "short write");
     it->second += data.size();
     totalBytes_ += data.size();
@@ -165,7 +170,7 @@ Future<Unit> NoOpChunkStorage::create(const std::string& name) {
     return okUnit();
 }
 
-Future<Unit> NoOpChunkStorage::append(const std::string& name, SharedBuf data) {
+Future<Unit> NoOpChunkStorage::append(const std::string& name, BufChain data) {
     auto it = sizes_.find(name);
     if (it == sizes_.end()) return fail(Err::NotFound, "no such chunk");
     it->second += data.size();

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "common/buf_chain.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "sim/future.h"
@@ -32,7 +33,9 @@ public:
     virtual ~ChunkStorage() = default;
 
     virtual sim::Future<sim::Unit> create(const std::string& name) = 0;
-    virtual sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) = 0;
+    /// Appends a fragment chain; backends consume per-fragment (the
+    /// terminal media write), never flattening the chain first.
+    virtual sim::Future<sim::Unit> append(const std::string& name, BufChain data) = 0;
     virtual sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
                                         uint64_t length) = 0;
     virtual sim::Future<sim::Unit> remove(const std::string& name) = 0;
@@ -52,7 +55,7 @@ public:
 class InMemoryChunkStorage : public ChunkStorage {
 public:
     sim::Future<sim::Unit> create(const std::string& name) override;
-    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override;
+    sim::Future<sim::Unit> append(const std::string& name, BufChain data) override;
     sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
                                 uint64_t length) override;
     sim::Future<sim::Unit> remove(const std::string& name) override;
@@ -75,7 +78,7 @@ public:
         : model_(exec, cfg) {}
 
     sim::Future<sim::Unit> create(const std::string& name) override;
-    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override;
+    sim::Future<sim::Unit> append(const std::string& name, BufChain data) override;
     sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
                                 uint64_t length) override;
     sim::Future<sim::Unit> remove(const std::string& name) override;
@@ -98,7 +101,7 @@ public:
     explicit FileSystemChunkStorage(std::string rootDir);
 
     sim::Future<sim::Unit> create(const std::string& name) override;
-    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override;
+    sim::Future<sim::Unit> append(const std::string& name, BufChain data) override;
     sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
                                 uint64_t length) override;
     sim::Future<sim::Unit> remove(const std::string& name) override;
@@ -120,7 +123,7 @@ private:
 class NoOpChunkStorage : public ChunkStorage {
 public:
     sim::Future<sim::Unit> create(const std::string& name) override;
-    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override;
+    sim::Future<sim::Unit> append(const std::string& name, BufChain data) override;
     sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
                                 uint64_t length) override;
     sim::Future<sim::Unit> remove(const std::string& name) override;

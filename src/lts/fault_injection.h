@@ -70,7 +70,7 @@ public:
         if (shouldFail(kCreate)) return failUnit();
         return delayed(inner_.create(name));
     }
-    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override {
+    sim::Future<sim::Unit> append(const std::string& name, BufChain data) override {
         if (shouldFail(kAppend)) return failUnit();
         return delayed(inner_.append(name, std::move(data)));
     }

@@ -118,6 +118,33 @@ Result<CacheAddress> BlockCache::insert(BytesView data) {
     return last;
 }
 
+Result<CacheAddress> BlockCache::insert(const BufChain& data) {
+    if (data.empty()) return insert(BytesView());
+    const auto& frags = data.fragments();
+    auto addr = insert(frags[0].view());
+    if (!addr) return addr.status();
+    CacheAddress last = addr.value();
+    for (size_t i = 1; i < frags.size(); ++i) {
+        auto extended = append(last, frags[i].view());
+        if (!extended) {
+            remove(last);
+            return extended.status();
+        }
+        last = extended.value();
+    }
+    return last;
+}
+
+Result<CacheAddress> BlockCache::append(CacheAddress address, const BufChain& data) {
+    CacheAddress last = address;
+    for (const auto& frag : data.fragments()) {
+        auto extended = append(last, frag.view());
+        if (!extended) return extended.status();
+        last = extended.value();
+    }
+    return last;
+}
+
 Result<CacheAddress> BlockCache::append(CacheAddress address, BytesView data) {
     if (!validAddress(address)) return Status(Err::InvalidArgument, "bad cache address");
     CacheAddress last = address;
@@ -181,6 +208,35 @@ Result<Bytes> BlockCache::get(CacheAddress address) const {
         const BlockMeta& m = meta(*it);
         const uint8_t* p = blockData(*it);
         out.insert(out.end(), p, p + m.length);
+    }
+    return out;
+}
+
+Result<Bytes> BlockCache::get(CacheAddress address, uint64_t offset, uint64_t length) const {
+    if (!validAddress(address)) return Status(Err::InvalidArgument, "bad cache address");
+    std::vector<CacheAddress> chain;
+    for (CacheAddress a = address; a != kInvalidAddress; a = meta(a).prev) chain.push_back(a);
+
+    uint64_t total = 0;
+    for (CacheAddress a : chain) total += meta(a).length;
+    if (offset > total) offset = total;
+    length = std::min(length, total - offset);
+
+    Bytes out;
+    out.reserve(static_cast<size_t>(length));
+    uint64_t pos = 0;  // entry-relative offset of the current block's start
+    for (auto it = chain.rbegin(); it != chain.rend() && length > 0; ++it) {
+        const BlockMeta& m = meta(*it);
+        uint64_t end = pos + m.length;
+        if (end > offset) {
+            uint64_t from = offset > pos ? offset - pos : 0;
+            uint64_t n = std::min<uint64_t>(m.length - from, length);
+            const uint8_t* p = blockData(*it) + from;
+            out.insert(out.end(), p, p + n);
+            offset += n;
+            length -= n;
+        }
+        pos = end;
     }
     return out;
 }

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/buf_chain.h"
 #include "common/bytes.h"
 #include "common/result.h"
 
@@ -36,12 +37,27 @@ public:
     /// Stores a new entry; returns the address of its last block.
     Result<CacheAddress> insert(BytesView data);
 
+    /// Chain-aware insert: copies fragment by fragment straight into cache
+    /// blocks (the single block-granularity copy of the ingest path — the
+    /// chain is never flattened first).
+    Result<CacheAddress> insert(const BufChain& data);
+
     /// Appends to an existing entry; returns the (possibly new) address of
     /// the entry's last block. O(1) in the entry length.
     Result<CacheAddress> append(CacheAddress address, BytesView data);
 
+    /// Chain-aware append. On CacheFull the entry survives with every
+    /// fragment that fit (consistent lengths — callers resync via
+    /// entryLength, same contract as the view overload's topped-up state).
+    Result<CacheAddress> append(CacheAddress address, const BufChain& data);
+
     /// Reassembles the full entry by walking the predecessor chain.
     Result<Bytes> get(CacheAddress address) const;
+
+    /// Ranged read: copies only [offset, offset+length) of the entry
+    /// (clamped to the entry length), skipping preceding blocks without
+    /// touching their bytes.
+    Result<Bytes> get(CacheAddress address, uint64_t offset, uint64_t length) const;
 
     /// Total payload bytes stored in the entry.
     Result<uint64_t> entryLength(CacheAddress address) const;

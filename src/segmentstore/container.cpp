@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/buf_chain.h"
 #include "common/logging.h"
 
 namespace pravega::segmentstore {
@@ -454,10 +455,26 @@ void SegmentContainer::closeFrame() {
     auto frame = std::move(openFrame_);
     openFrame_ = PendingFrame{};
 
-    Bytes serialized;
-    serialized.reserve(frame.bytes);
-    BinaryWriter w(serialized);
-    for (const auto& op : frame.ops) serializeOp(w, op);
+    // Serialize every op's header (fixed fields + payload length prefix)
+    // into one small buffer, then splice the payloads in as shared
+    // fragments: the resulting chain is byte-identical to the old
+    // serializeOp stream, but payload bytes ride into the WAL entry by
+    // reference instead of being copied a second time.
+    Bytes headers;
+    BinaryWriter w(headers);
+    std::vector<size_t> cuts;
+    cuts.reserve(frame.ops.size() + 1);
+    for (const auto& op : frame.ops) {
+        cuts.push_back(headers.size());
+        serializeOpHeader(w, op);
+    }
+    cuts.push_back(headers.size());
+    SharedBuf hbuf{std::move(headers)};
+    BufChain serialized;
+    for (size_t i = 0; i < frame.ops.size(); ++i) {
+        serialized.append(hbuf.slice(cuts[i], cuts[i + 1] - cuts[i]));
+        serialized.append(frame.ops[i].data);
+    }
     uint64_t frameBytes = serialized.size();
 
     // EWMA of frame sizes feeds the delay formula.
@@ -469,7 +486,7 @@ void SegmentContainer::closeFrame() {
     mFrameOps_.record(static_cast<sim::Duration>(frame.ops.size()));
     mStoreQueueNs_.record(sentAt - frame.openedAt);
     ++inFlightFrames_;
-    log_->append(SharedBuf(std::move(serialized)))
+    log_->append(std::move(serialized))
         .onComplete([this, ops = std::move(frame.ops), completions = std::move(frame.completions),
                      sentAt](const Result<wal::LogAddress>& r) mutable {
             --inFlightFrames_;
@@ -535,7 +552,7 @@ void SegmentContainer::applyOp(Operation& op, int64_t walSequence, bool replay) 
                                               op.offset + static_cast<int64_t>(op.data.size()));
                 if (op.writer != 0) attributes_.set(op.segment, op.writer, op.eventNumber);
             }
-            readIndex_.append(op.segment, op.offset, op.data.view());
+            readIndex_.append(op.segment, op.offset, BufChain(op.data));
             meta->appliedLength = std::max(meta->appliedLength,
                                            op.offset + static_cast<int64_t>(op.data.size()));
             if (!meta->props.isTable) {

@@ -9,6 +9,11 @@ uint64_t Operation::serializedSize() const {
 }
 
 void serializeOp(BinaryWriter& w, const Operation& op) {
+    serializeOpHeader(w, op);
+    w.raw(op.data.view());
+}
+
+void serializeOpHeader(BinaryWriter& w, const Operation& op) {
     w.u8(static_cast<uint8_t>(op.type));
     w.u64(op.segment);
     w.i64(op.offset);
@@ -17,7 +22,8 @@ void serializeOp(BinaryWriter& w, const Operation& op) {
     w.u32(op.eventCount);
     w.str(op.name);
     w.u8(op.isTable ? 1 : 0);
-    w.bytes(op.data.view());
+    // The payload's length prefix (w.bytes == varint + raw payload).
+    w.varint(op.data.size());
 }
 
 Result<std::vector<Operation>> deserializeFrame(BytesView frame) {

@@ -47,6 +47,13 @@ struct Operation {
 
 void serializeOp(BinaryWriter& w, const Operation& op);
 
+/// Serializes everything EXCEPT the payload bytes: the fixed fields plus
+/// the payload's varint length prefix. `serializeOpHeader` followed by the
+/// raw payload bytes is byte-identical to `serializeOp` — the frame builder
+/// uses this to emit headers into one small buffer and splice the payload
+/// in by reference (BufChain fragment) instead of copying it.
+void serializeOpHeader(BinaryWriter& w, const Operation& op);
+
 /// Deserializes a whole data frame (a concatenation of operations).
 Result<std::vector<Operation>> deserializeFrame(BytesView frame);
 

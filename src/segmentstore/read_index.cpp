@@ -89,6 +89,65 @@ Status ReadIndex::insertEntry(SegmentIndex& idx, int64_t offset, BytesView data)
     return Status::ok();
 }
 
+Status ReadIndex::append(SegmentId segment, int64_t offset, const BufChain& data) {
+    auto it = segments_.find(segment);
+    if (it == segments_.end()) return Status(Err::NotFound, "segment not in read index");
+    SegmentIndex& idx = it->second;
+
+    // Same O(1) fast path as the view overload, fed fragment by fragment.
+    auto last = idx.entries.lastEntry();
+    if (last.first && *last.first + last.second->length == offset &&
+        last.second->address != kInvalidAddress &&
+        last.second->length + static_cast<int64_t>(data.size()) <= cfg_.maxEntryLength) {
+        auto newAddr = cache_.append(last.second->address, data);
+        if (newAddr) {
+            last.second->address = newAddr.value();
+            last.second->length += static_cast<int64_t>(data.size());
+            last.second->lastUsedGeneration = generation_;
+            indexedBytes_ += data.size();
+            return Status::ok();
+        }
+        if (newAddr.code() != Err::CacheFull) return newAddr.status();
+        auto len = cache_.entryLength(last.second->address);
+        if (len) {
+            indexedBytes_ += len.value() - static_cast<uint64_t>(last.second->length);
+            last.second->length = static_cast<int64_t>(len.value());
+        }
+        applyCachePolicy();
+        int64_t done = *last.first + last.second->length - offset;
+        if (done >= static_cast<int64_t>(data.size())) return Status::ok();
+        return insertEntry(idx, offset + done,
+                           data.share(static_cast<size_t>(done),
+                                      data.size() - static_cast<size_t>(done)));
+    }
+    return insertEntry(idx, offset, data);
+}
+
+Status ReadIndex::insertEntry(SegmentIndex& idx, int64_t offset, BufChain data) {
+    // Split oversized payloads into maxEntryLength pieces (zero-copy
+    // slices; the only byte movement is the block-granularity copy inside
+    // the cache).
+    while (!data.empty()) {
+        size_t n = std::min<size_t>(data.size(), static_cast<size_t>(cfg_.maxEntryLength));
+        BufChain piece = data.share(0, n);
+        auto addr = cache_.insert(piece);
+        if (!addr && addr.code() == Err::CacheFull) {
+            applyCachePolicy();
+            addr = cache_.insert(piece);
+        }
+        if (!addr) return addr.status();
+        Entry e;
+        e.length = static_cast<int64_t>(n);
+        e.address = addr.value();
+        e.lastUsedGeneration = generation_;
+        idx.entries.insert(offset, e);
+        indexedBytes_ += n;
+        offset += static_cast<int64_t>(n);
+        data.trimFront(n);
+    }
+    return Status::ok();
+}
+
 Status ReadIndex::insertFromStorage(SegmentId segment, int64_t offset, BytesView data) {
     auto it = segments_.find(segment);
     if (it == segments_.end()) return Status(Err::NotFound, "segment not in read index");
@@ -168,12 +227,14 @@ Result<ReadOutcome> ReadIndex::read(SegmentId segment, int64_t offset, int64_t m
         // the iterator semantics let callers continue from the new offset).
         Entry& e = *floor.second;
         e.lastUsedGeneration = generation_;
-        auto whole = cache_.get(e.address);
-        if (!whole) return whole.status();
         int64_t within = offset - *floor.first;
         int64_t n = std::min<int64_t>(e.length - within, maxBytes);
-        Bytes out(whole.value().begin() + within, whole.value().begin() + within + n);
-        return ReadOutcome{ReadHit{std::move(out)}};
+        // Ranged get: only the requested bytes are copied out of cache
+        // blocks (the old full-entry get + re-slice copied twice).
+        auto part = cache_.get(e.address, static_cast<uint64_t>(within),
+                               static_cast<uint64_t>(n));
+        if (!part) return part.status();
+        return ReadOutcome{ReadHit{std::move(part.value())}};
     }
 
     // Miss: compute the gap to fetch from LTS — up to the next indexed

@@ -62,6 +62,10 @@ public:
     /// required to be contiguous with evicted history).
     Status append(SegmentId segment, int64_t offset, BytesView data);
 
+    /// Chain variant of the tail append: fragments are copied straight
+    /// into cache blocks, the chain itself is never flattened.
+    Status append(SegmentId segment, int64_t offset, const BufChain& data);
+
     /// Inserts data fetched from LTS covering [offset, offset+size). Bytes
     /// already indexed are trimmed away on BOTH sides: against an
     /// overlapping floor entry (possible after eviction plus a concurrent
@@ -110,6 +114,7 @@ private:
     };
 
     Status insertEntry(SegmentIndex& idx, int64_t offset, BytesView data);
+    Status insertEntry(SegmentIndex& idx, int64_t offset, BufChain data);
 
     /// Debug-build invariant: entries of `idx` are non-overlapping and
     /// offset-ordered. No-op in release builds.

@@ -154,16 +154,18 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
     int64_t storageStart = lastIndex >= 0 ? last.startOffset + last.length : 0;
 
     // Aggregate pending appends into one contiguous write (§4.3: "it
-    // buffers small appends into larger writes to LTS"). Entries stay in
-    // the queue until the flush succeeds so flushedWalSequence() cannot
-    // advance (and truncate the WAL) past data not yet durable in LTS.
-    Bytes buffer;
-    buffer.reserve(std::min<uint64_t>(state.pendingBytes, cfg_.flushSizeBytes * 2));
+    // buffers small appends into larger writes to LTS"). The aggregate is a
+    // fragment chain over the queued payloads — no bytes move here; the
+    // terminal media write inside the chunk backend is the only copy.
+    // Entries stay in the queue until the flush succeeds so
+    // flushedWalSequence() cannot advance (and truncate the WAL) past data
+    // not yet durable in LTS.
+    BufChain agg;
     size_t flushCount = 0;
     uint64_t flushBytes = 0;
     int64_t cursor = -1;
     for (const auto& entry : state.pending) {
-        if (buffer.size() >= cfg_.flushSizeBytes * 2) break;
+        if (agg.size() >= cfg_.flushSizeBytes * 2) break;
         int64_t end = entry.offset + static_cast<int64_t>(entry.data.size());
         if (end <= storageStart) {
             // Entirely below the durable frontier (replayed prefix).
@@ -174,13 +176,13 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
         int64_t from = std::max<int64_t>(0, storageStart - entry.offset);
         if (cursor < 0) cursor = entry.offset + from;
         assert(entry.offset + from == cursor && "storage queue must be contiguous");
-        auto view = entry.data.view().subspan(static_cast<size_t>(from));
-        append(buffer, view);
+        agg.append(entry.data.slice(static_cast<size_t>(from),
+                                    entry.data.size() - static_cast<size_t>(from)));
         cursor = end;
         ++flushCount;
         flushBytes += entry.data.size();
     }
-    if (buffer.empty()) {
+    if (agg.empty()) {
         // Nothing new to write (all below the frontier): just retire.
         for (size_t i = 0; i < flushCount; ++i) state.pending.pop_front();
         state.pendingBytes -= flushBytes;
@@ -193,7 +195,7 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
     state.flushing = true;
     ++activeFlushes_;
     mFlushes_.inc();
-    mFlushBatchBytes_.record(static_cast<sim::Duration>(buffer.size()));
+    mFlushBatchBytes_.record(static_cast<sim::Duration>(agg.size()));
     sim::TimePoint flushStart = exec_.now();
 
     // Build the per-chunk write plan, rolling chunks at maxChunkBytes.
@@ -202,13 +204,13 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
         std::string key;
         int64_t version;     // expected table version for the metadata CAS
         ChunkRecord record;  // record after this write
-        Bytes data;
+        BufChain data;       // zero-copy slice of the aggregate chain
         bool createChunk;
     };
     auto plans = std::make_shared<std::vector<FlushPlan>>();
     size_t pos = 0;
     int64_t offset = storageStart;
-    while (pos < buffer.size()) {
+    while (pos < agg.size()) {
         bool needNew = lastIndex < 0 ||
                        last.length >= static_cast<int64_t>(cfg_.maxChunkBytes);
         if (needNew) {
@@ -217,14 +219,13 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
             lastVersion = kNotExists;
         }
         size_t room = cfg_.maxChunkBytes - static_cast<size_t>(last.length);
-        size_t n = std::min(room, buffer.size() - pos);
+        size_t n = std::min(room, agg.size() - pos);
         FlushPlan plan;
         plan.chunk = last.name;
         plan.key = chunkKey(segment, lastIndex);
         plan.version = lastVersion;
         plan.createChunk = (lastVersion == kNotExists);
-        plan.data.assign(buffer.begin() + static_cast<long>(pos),
-                         buffer.begin() + static_cast<long>(pos + n));
+        plan.data = agg.share(pos, n);
         last.length += static_cast<int64_t>(n);
         plan.record = last;
         plans->push_back(std::move(plan));
@@ -278,7 +279,7 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
         auto runAppend = [this, plans, runPlan, i, segment]() {
             auto& plan = (*plans)[i];
             uint64_t n = plan.data.size();
-            storage_.append(plan.chunk, SharedBuf(std::move(plan.data)))
+            storage_.append(plan.chunk, std::move(plan.data))
                 .onComplete([this, plans, runPlan, i, n,
                              segment](const Result<sim::Unit>& r) {
                     auto& st2 = segments_[segment];

@@ -31,9 +31,26 @@
 // charges the configured hand-off latency. A submit to the shard that is
 // currently executing is a direct call (no queueing, no cost), mirroring
 // what sharded runtimes do for same-shard submits.
+//
+// Event-queue fast path: each core keeps its pending events in three tiers
+// instead of one binary heap —
+//   1. a due-now FIFO for zero-delay posts (at == now when pushed, so the
+//      deque is already in (time, seq) order: O(1) push and pop, no heap
+//      sifting of std::function payloads),
+//   2. a timer wheel for the near future (slot width 2^kWheelShift ns,
+//      kWheelSlots slots ≈ 16.8 ms horizon): O(1) push into an unsorted
+//      slot, pops scan only the cursor slot,
+//   3. a far heap for everything beyond the wheel horizon (rare:
+//      long-fuse timeouts, background rearm timers).
+// Each core maintains a cached (time, seq) key of its earliest pending
+// event, updated incrementally on push/pop, so the machine's dispatch loop
+// compares plain integers across cores instead of peeking N priority
+// queues. The merge order is unchanged: within a core (time, seq); across
+// cores ties in time go to the lowest core id.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -101,11 +118,17 @@ public:
     /// This shard's deterministic RNG stream.
     Rng& rng() { return rng_; }
 
-    size_t pendingTasks() const { return queue_.size(); }
+    size_t pendingTasks() const { return dueNow_.size() + wheelCount_ + far_.size(); }
     size_t pendingRegularTasks() const { return regularPending_; }
 
 private:
     friend class Machine;
+
+    // Timer-wheel geometry: 2^13 ns (≈8.2 µs) slots × 2048 slots ≈ 16.8 ms
+    // horizon. Everything the hot path schedules (I/O completions, batch
+    // timers, mailbox hand-offs) lands inside it.
+    static constexpr uint32_t kWheelShift = 13;
+    static constexpr size_t kWheelSlots = 2048;
 
     struct Entry {
         TimePoint at;
@@ -119,17 +142,47 @@ private:
             return a.seq > b.seq;
         }
     };
+    enum class Tier : uint8_t { None, Due, Wheel, Far };
 
     Core(Machine& machine, int id, uint64_t rngSeed);
     void push(Duration delay, Task fn, bool weak);
-    /// Pops the earliest entry (queue must be non-empty).
+    /// Pops the earliest entry (queue must be non-empty) and refreshes the
+    /// cached minimum.
     Entry pop();
+    /// Recomputes the cached (time, seq) minimum across the three tiers.
+    void recomputeMin();
+    /// Offers a candidate to the cached minimum during recomputation.
+    void consider(TimePoint at, uint64_t seq, Tier tier, size_t slot, size_t idx);
+
+    bool hasPending() const { return minTier_ != Tier::None; }
+    TimePoint minAt() const { return minAt_; }
 
     Machine* machine_;
     int id_;
     uint64_t seq_ = 0;
     size_t regularPending_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+
+    // Tier 1: zero-delay posts, already in (time, seq) order.
+    std::deque<Entry> dueNow_;
+    // Tier 2: near-future timer wheel. Slots hold unsorted entries; the
+    // cursor (an ABSOLUTE slot index, at >> kWheelShift) only moves forward
+    // except when a push lands behind it. All pending wheel entries fit in
+    // one horizon window relative to the current virtual time, so a
+    // physical slot never mixes laps.
+    std::vector<std::vector<Entry>> slots_;
+    size_t wheelCount_ = 0;
+    uint64_t wheelCursor_ = 0;  // absolute slot index of the scan position
+    // Tier 3: beyond the wheel horizon.
+    std::priority_queue<Entry, std::vector<Entry>, Later> far_;
+
+    // Cached earliest pending event (valid when minTier_ != None). minSlot_/
+    // minIdx_ locate it inside the wheel when minTier_ == Wheel.
+    Tier minTier_ = Tier::None;
+    TimePoint minAt_ = 0;
+    uint64_t minSeq_ = 0;
+    size_t minSlot_ = 0;
+    size_t minIdx_ = 0;
+
     Rng rng_;
     // unique_ptr + out-of-line ctor/dtor keep obs/metrics.h out of this
     // header (obs depends on sim/time.h only; no include cycle).
@@ -207,11 +260,22 @@ public:
     bool runOne();
 
     size_t pendingTasks() const;
-    size_t pendingRegularTasks() const;
+    size_t pendingRegularTasks() const { return regularPending_; }
+
+    /// Number of scheduler selections (pickNext tournaments) performed.
+    /// The dispatch loops do exactly ONE selection per dispatched event
+    /// (plus the final selection that observes the stop condition) — the
+    /// regression tests pin this down.
+    uint64_t schedulerSelections() const { return schedulerSelections_; }
+
+    /// Total events dispatched by this machine over its lifetime.
+    uint64_t executedEvents() const { return executedEvents_; }
 
     const MachineConfig& config() const { return cfg_; }
 
 private:
+    friend class Core;
+
     static MachineConfig makeConfig(int cores) {
         MachineConfig cfg;
         cfg.cores = cores;
@@ -219,14 +283,22 @@ private:
     }
 
     /// Core holding the globally-earliest event under the (time, core, seq)
-    /// merge order, or -1 when every queue is empty.
-    int pickNext() const;
+    /// merge order, or -1 when every queue is empty. Compares the per-core
+    /// cached minima — plain integer compares, no queue peeks.
+    int pickNext();
+
+    /// Pops and runs the earliest event of core `c` (which pickNext just
+    /// selected). Separated from pickNext so the dispatch loops scan the
+    /// queues exactly once per event.
+    void dispatch(int c);
 
     MachineConfig cfg_;
     TimePoint now_ = 0;
     int runningCore_ = -1;
     uint64_t xcoreMessages_ = 0;
-    size_t regularPending_ = 0;  // cached sum across cores
+    uint64_t schedulerSelections_ = 0;
+    uint64_t executedEvents_ = 0;
+    size_t regularPending_ = 0;  // incrementally maintained sum across cores
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<obs::MetricsRegistry> merged_;  // multi-core snapshot
 };

@@ -24,7 +24,7 @@ Bookie::Bookie(sim::Core& exec, sim::HostId host, sim::DiskModel& journalDrive, 
       mGroupEntries_(exec.metrics().histogram("wal.bookie.journal.group_entries")),
       mSyncNs_(exec.metrics().histogram("trace.write.3_journal_sync_ns")) {}
 
-sim::Future<sim::Unit> Bookie::addEntry(LedgerId ledger, EntryId entry, SharedBuf data) {
+sim::Future<sim::Unit> Bookie::addEntry(LedgerId ledger, EntryId entry, BufChain data) {
     if (!alive_) {
         mRejectUnavailable_.inc();
         return sim::Future<sim::Unit>::failed(Status(Err::Unavailable, "bookie crashed"));
@@ -109,7 +109,7 @@ Result<SharedBuf> Bookie::readEntry(LedgerId ledger, EntryId entry) const {
     if (it == ledgers_.end()) return Status(Err::NotFound, "no such ledger");
     auto eit = it->second.entries.find(entry);
     if (eit == it->second.entries.end()) return Status(Err::NotFound, "no such entry");
-    return eit->second;
+    return eit->second.linearize();
 }
 
 Result<EntryId> Bookie::lastEntry(LedgerId ledger) const {

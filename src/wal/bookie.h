@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "common/buf_chain.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "sim/future.h"
@@ -52,14 +53,18 @@ public:
 
     sim::HostId host() const { return host_; }
 
-    /// Journals and stores one entry. Completes after the entry is durable
-    /// (per `journalSync`). Rejects writes to fenced or deleted ledgers.
-    sim::Future<sim::Unit> addEntry(LedgerId ledger, EntryId entry, SharedBuf data);
+    /// Journals and stores one entry (a fragment chain shared with the
+    /// sender — stored by reference, no payload copy). Completes after the
+    /// entry is durable (per `journalSync`). Rejects writes to fenced or
+    /// deleted ledgers.
+    sim::Future<sim::Unit> addEntry(LedgerId ledger, EntryId entry, BufChain data);
 
     /// Fences a ledger: no further adds accepted. Returns the last entry id
     /// this bookie has (for recovery). Idempotent.
     Result<EntryId> fenceLedger(LedgerId ledger);
 
+    /// Recovery/read path: linearizes the stored chain (the one place a
+    /// WAL entry is flattened; cold by design).
     Result<SharedBuf> readEntry(LedgerId ledger, EntryId entry) const;
     Result<EntryId> lastEntry(LedgerId ledger) const;
 
@@ -85,19 +90,19 @@ private:
     struct PendingAdd {
         LedgerId ledger;
         EntryId entry;
-        SharedBuf data;
+        BufChain data;
         uint64_t journalBytes;
         sim::Promise<sim::Unit> done;
     };
     struct LedgerState {
-        std::map<EntryId, SharedBuf> entries;
+        std::map<EntryId, BufChain> entries;
         bool fenced = false;
     };
     /// One durable journal record (replayed on restart).
     struct JournalRecord {
         LedgerId ledger;
         EntryId entry;
-        SharedBuf data;
+        BufChain data;
     };
 
     void maybeStartFlush();

@@ -24,7 +24,7 @@ LedgerHandle::LedgerHandle(sim::Core& exec, sim::Network& net, sim::HostId clien
 
 LedgerHandle::~LedgerHandle() { *alive_ = false; }
 
-sim::Future<EntryId> LedgerHandle::addEntry(SharedBuf data) {
+sim::Future<EntryId> LedgerHandle::addEntry(BufChain data) {
     if (closed_ || fencedOut_) {
         return sim::Future<EntryId>::failed(
             Status(fencedOut_ ? Err::Fenced : Err::Sealed, "ledger not writable"));
@@ -49,7 +49,7 @@ sim::Future<EntryId> LedgerHandle::addEntry(SharedBuf data) {
     return fut;
 }
 
-void LedgerHandle::sendToBookie(Bookie* bookie, EntryId entry, const SharedBuf& data) {
+void LedgerHandle::sendToBookie(Bookie* bookie, EntryId entry, const BufChain& data) {
     const uint64_t wireBytes = data.size() + kWireOverhead;
     net_.send(clientHost_, bookie->host(), wireBytes,
               [this, alive = alive_, bookie, entry, data]() {

@@ -22,6 +22,7 @@
 #include <set>
 #include <vector>
 
+#include "common/buf_chain.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "sim/future.h"
@@ -88,8 +89,9 @@ public:
     LedgerId id() const { return id_; }
 
     /// Replicated append; completes with the entry id once ack-quorum
-    /// durable and all prior entries confirmed.
-    sim::Future<EntryId> addEntry(SharedBuf data);
+    /// durable and all prior entries confirmed. The chain is shared with
+    /// every write-set bookie by reference — no payload copies.
+    sim::Future<EntryId> addEntry(BufChain data);
 
     /// Closes the ledger for appends and records the last confirmed entry.
     void close();
@@ -121,7 +123,7 @@ public:
 
 private:
     struct InFlight {
-        SharedBuf data;  // retained for re-replication
+        BufChain data;  // retained for re-replication
         /// Bookies this entry targets. A vector in ensemble order — NOT a
         /// set keyed on pointers — so iteration (send order, suspect
         /// order) is deterministic across runs; replay depends on it.
@@ -135,7 +137,7 @@ private:
         sim::Promise<EntryId> done;
     };
 
-    void sendToBookie(Bookie* bookie, EntryId entry, const SharedBuf& data);
+    void sendToBookie(Bookie* bookie, EntryId entry, const BufChain& data);
     void armTimeout(EntryId entry);
     void onAck(Bookie* bookie, EntryId entry, const Result<sim::Unit>& r);
     void handleBookieFailure(Bookie* bad);

@@ -74,7 +74,7 @@ void LogClient::rollover() {
                                               id, cfg_.repl);
 }
 
-sim::Future<LogAddress> LogClient::append(SharedBuf data) {
+sim::Future<LogAddress> LogClient::append(BufChain data) {
     assert(initialized_ && "recover() must run before append()");
     if (current_->appendedBytes() >= cfg_.rolloverBytes) rollover();
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/buf_chain.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "sim/future.h"
@@ -55,8 +56,9 @@ public:
     Result<std::vector<std::pair<LogAddress, SharedBuf>>> recover();
 
     /// Ordered durable append. Completions are delivered in sequence order
-    /// even across ledger rollovers.
-    sim::Future<LogAddress> append(SharedBuf data);
+    /// even across ledger rollovers. Takes a fragment chain; payload bytes
+    /// are shared with the caller, never copied.
+    sim::Future<LogAddress> append(BufChain data);
 
     /// Deletes all ledgers that lie entirely at or before `upTo`.
     void truncate(LogAddress upTo);

@@ -3,12 +3,17 @@
 // synchronizer, per-key ordering across scaling, and the KV table client.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <map>
 #include <set>
 
 #include "client/event_reader.h"
+#include "client/framing.h"
 #include "client/kv_table.h"
+#include "client/segment_input_stream.h"
 #include "cluster/pravega_cluster.h"
+#include "common/buf_stats.h"
 
 namespace pravega::client {
 namespace {
@@ -357,6 +362,178 @@ TEST_F(ClientFixture, KeyValueTableConditionalOps) {
     cluster.runUntilIdle();
     ASSERT_TRUE(txn.result().isOk());
     EXPECT_EQ(txn.result().value().size(), 2u);
+}
+
+
+// --- framing hardening -------------------------------------------------
+
+TEST(FramingTest, DecodeEventExReportsPartialForShortHeader) {
+    Bytes buf{0x01, 0x02};
+    size_t pos = 0;
+    BytesView payload;
+    EXPECT_EQ(decodeEventEx(BytesView(buf), pos, payload), DecodeStatus::Partial);
+    EXPECT_EQ(pos, 0u);  // pos untouched on Partial
+}
+
+TEST(FramingTest, DecodeEventExRejectsOversizeLengthBeforeArithmetic) {
+    // A hostile length prefix near UINT32_MAX: the max-frame bound must be
+    // checked BEFORE any additive size test, so 32-bit size_t arithmetic
+    // can never wrap into a bogus "enough bytes" conclusion.
+    Bytes buf(kEventHeaderBytes);
+    uint32_t len = 0xFFFFFFFFu;
+    std::memcpy(buf.data(), &len, kEventHeaderBytes);
+    size_t pos = 0;
+    BytesView payload;
+    EXPECT_EQ(decodeEventEx(BytesView(buf), pos, payload), DecodeStatus::Corrupt);
+    EXPECT_EQ(pos, 0u);
+
+    // Just above the protocol bound: corrupt. At the bound: merely partial
+    // (a legal frame we don't have the bytes for yet).
+    len = kMaxEventBytes + 1;
+    std::memcpy(buf.data(), &len, kEventHeaderBytes);
+    EXPECT_EQ(decodeEventEx(BytesView(buf), pos, payload), DecodeStatus::Corrupt);
+    len = kMaxEventBytes;
+    std::memcpy(buf.data(), &len, kEventHeaderBytes);
+    EXPECT_EQ(decodeEventEx(BytesView(buf), pos, payload), DecodeStatus::Partial);
+
+    // The legacy wrapper folds Corrupt into "no event" without advancing.
+    len = 0xFFFFFFFFu;
+    std::memcpy(buf.data(), &len, kEventHeaderBytes);
+    EXPECT_FALSE(decodeEvent(BytesView(buf), pos).has_value());
+    EXPECT_EQ(pos, 0u);
+}
+
+TEST(FramingTest, EncodeDecodeRoundtripAndChainPeek) {
+    Bytes wire;
+    encodeEvent(wire, BytesView(toBytes("alpha")));
+    encodeEvent(wire, BytesView(toBytes("bee")));
+    size_t pos = 0;
+    BytesView payload;
+    ASSERT_EQ(decodeEventEx(BytesView(wire), pos, payload), DecodeStatus::Ok);
+    EXPECT_EQ(std::string(payload.begin(), payload.end()), "alpha");
+    ASSERT_EQ(decodeEventEx(BytesView(wire), pos, payload), DecodeStatus::Ok);
+    EXPECT_EQ(std::string(payload.begin(), payload.end()), "bee");
+    EXPECT_EQ(decodeEventEx(BytesView(wire), pos, payload), DecodeStatus::Partial);
+    EXPECT_EQ(pos, wire.size());
+
+    // Chain peek sees the same framing across fragment boundaries.
+    BufChain chain;
+    chain.append(SharedBuf(Bytes(wire.begin(), wire.begin() + 3)));
+    chain.append(SharedBuf(Bytes(wire.begin() + 3, wire.end())));
+    uint32_t len = 0;
+    ASSERT_EQ(peekEvent(chain, len), DecodeStatus::Ok);
+    EXPECT_EQ(len, 5u);
+}
+
+// --- copy budget ---------------------------------------------------------
+
+// The zero-copy contract of the append path: a payload is copied exactly
+// once, at the client framing boundary (encodeEvent into the open block).
+// Everything downstream — frozen block, wire append, WAL frame, cache
+// block, LTS flush — shares or block-copies outside the buffer
+// abstraction. The bufstats counters instrument every buffer-abstraction
+// copy boundary, so the delta across a write-only run must equal the
+// payload bytes exactly: a second hidden copy anywhere on the path fails
+// this test.
+TEST_F(ClientFixture, ExactlyOneClientSideCopyPerPayloadByte) {
+    makeStream();
+    auto writer = cluster.makeWriter("sc/st");
+    cluster.runUntilIdle();
+
+    bufstats::reset();
+    constexpr size_t kEvents = 300;
+    constexpr size_t kBytes = 1024;
+    int acked = 0;
+    for (size_t i = 0; i < kEvents; ++i) {
+        writer->writeEvent("key-" + std::to_string(i % 5), toBytes(std::string(kBytes, 'p')),
+                           [&](Status s) {
+                               ASSERT_TRUE(s.isOk());
+                               ++acked;
+                           });
+    }
+    writer->flush();
+    cluster.runUntilIdle();
+    // Let the storage writer run full flush cycles (WAL -> cache -> LTS):
+    // none of those stages may add a buffer copy.
+    cluster.runFor(sim::sec(2));
+    cluster.runUntilIdle();
+
+    EXPECT_EQ(acked, static_cast<int>(kEvents));
+    EXPECT_EQ(bufstats::bytesCopied, kEvents * kBytes);
+    EXPECT_EQ(bufstats::copyOps, kEvents);
+    bufstats::reset();
+}
+
+// --- reader hardening ------------------------------------------------------
+
+TEST_F(ClientFixture, CorruptFrameFailsTheStreamAndCounts) {
+    makeStream();
+    auto uri = cluster.ctrl().getCurrentSegments("sc/st").value()[0];
+    auto* container = uri.store->container(uri.containerId);
+    ASSERT_NE(container, nullptr);
+    // Append raw garbage that parses as a frame with an absurd length
+    // prefix (> kMaxEventBytes).
+    Bytes garbage(kEventHeaderBytes);
+    uint32_t len = 0x7FFFFFFFu;
+    std::memcpy(garbage.data(), &len, kEventHeaderBytes);
+    container->append(uri.record.id, SharedBuf(std::move(garbage)));
+    cluster.runUntilIdle();
+
+    SegmentInputStream sis(cluster.executor(), cluster.network(), cluster.newClientHost(),
+                           uri, 0, ReaderConfig{}, nullptr);
+    cluster.runUntilIdle();
+    uint64_t corruptBefore = cluster.machine().metrics().counterValue("client.frame.corrupt");
+    EXPECT_FALSE(sis.readNextEvent().has_value());
+    EXPECT_TRUE(sis.failed());
+    EXPECT_EQ(cluster.machine().metrics().counterValue("client.frame.corrupt"),
+              corruptBefore + 1);
+    // A failed stream stays failed: no retry loop, no further counting.
+    EXPECT_FALSE(sis.readNextEvent().has_value());
+    EXPECT_EQ(cluster.machine().metrics().counterValue("client.frame.corrupt"),
+              corruptBefore + 1);
+}
+
+TEST_F(ClientFixture, TailReadBufferStaysBoundedByBacklog) {
+    makeStream();
+    auto writer = cluster.makeWriter("sc/st");
+    constexpr size_t kEvents = 500;
+    for (size_t i = 0; i < kEvents; ++i) {
+        writer->writeEvent("k", toBytes(std::string(1024, 'e')));
+    }
+    writer->flush();
+    cluster.runUntilIdle();
+
+    auto uri = cluster.ctrl().getCurrentSegments("sc/st").value()[0];
+    ReaderConfig rc;
+    rc.fetchBytes = 8 * 1024;
+    SegmentInputStream sis(cluster.executor(), cluster.network(), cluster.newClientHost(),
+                           uri, 0, rc, nullptr);
+
+    // Lagging consumer: at most one event consumed per simulator step, so
+    // fetches outpace consumption. The buffer must stay bounded by the
+    // fetch gate (a small multiple of fetchBytes), NOT grow toward the
+    // ~500 KB total that the old compact-only-when-fully-parsed buffer
+    // accumulated under exactly this pattern.
+    size_t events = 0;
+    size_t maxBuffered = 0;
+    int idleSteps = 0;
+    while (events < kEvents && idleSteps < 3) {
+        if (!cluster.machine().runOne()) {
+            ++idleSteps;
+        } else {
+            idleSteps = 0;
+        }
+        if (auto e = sis.readNextEvent()) {
+            ++events;
+            EXPECT_EQ(e->size(), 1024u);
+        }
+        maxBuffered = std::max(maxBuffered, sis.bufferedBytes());
+    }
+    EXPECT_EQ(events, kEvents);
+    EXPECT_LE(maxBuffered, static_cast<size_t>(rc.fetchBytes) * 3);
+    // Everything consumed: the chain is fully trimmed.
+    EXPECT_EQ(sis.bufferedBytes(), 0u);
+    EXPECT_EQ(sis.position(), static_cast<int64_t>(kEvents * (1024 + kEventHeaderBytes)));
 }
 
 }  // namespace

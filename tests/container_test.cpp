@@ -463,7 +463,7 @@ public:
         : exec_(exec), inner_(inner), delay_(readDelay) {}
 
     sim::Future<sim::Unit> create(const std::string& name) override { return inner_.create(name); }
-    sim::Future<sim::Unit> append(const std::string& name, SharedBuf data) override {
+    sim::Future<sim::Unit> append(const std::string& name, BufChain data) override {
         return inner_.append(name, std::move(data));
     }
     sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
