@@ -9,6 +9,7 @@
 // (Backlog scaled from the paper's 100 GB to 3 GB: in-memory substrate.)
 #include "bench/harness/adapters.h"
 #include "bench/harness/report.h"
+#include "common/hash.h"
 
 using namespace pravega;
 using namespace pravega::bench;
@@ -175,6 +176,92 @@ void runSingleReaderCatchup(Report& report, bool readahead) {
                       {"catchup_mbps", mbps}},
                      &world->exec().mergedMetrics());
 }
+/// Archive-tier ablation: the same single-reader catch-up, with the LTS
+/// codec on in both rows and the cold archive tier toggled. Same seed, same
+/// write schedule — payloads must be byte-identical either way (checked via
+/// a CRC over a fixed event prefix); only the latency profile may differ
+/// (tape mount + seek deep-read first byte vs object-store op latency).
+/// This is the hot-cache → S3 → archive read sweep: the cache holds the
+/// tail, the object store the recent chunks, and (in the "on" row) the
+/// archive everything that went idle.
+void runArchiveSweep(Report& report, bool archive) {
+    std::string label =
+        std::string("pravega-archive[archive=") + (archive ? "on" : "off") + "]";
+    PravegaOptions opt;
+    opt.segments = 1;
+    opt.numWriters = 1;
+    opt.tweak = [archive](cluster::ClusterConfig& cfg) {
+        cfg.store.container.storage.flushSizeBytes = 4 * 1024 * 1024;
+        cfg.store.container.storage.flushTimeout = sim::msec(500);
+        cfg.store.cache.maxBuffers = 8;  // 16 MB: backlog reads must hit LTS
+        cfg.compressLts = true;          // both rows: ratio must not change data
+        if (archive) {
+            cfg.archiveLts = true;
+            // Short idle threshold so the whole backlog migrates during the
+            // cool-down below; the catch-up then reads from tape.
+            cfg.ltsArchive.minIdle = sim::sec(2);
+        }
+    };
+    auto world = makePravega(opt);
+    sim::Rng rng(11);
+
+    sim::Duration buildTime =
+        sim::sec(static_cast<double>(singleBacklogBytes()) / (kWriteMBps * 1024 * 1024));
+    driveWriters(*world, rng, world->exec().now() + buildTime);
+    world->exec().runFor(sim::sec(8));  // tiering drains; idle chunks migrate
+
+    client::ReaderConfig rcfg;
+    rcfg.fetchBytes = 4 * 1024 * 1024;
+    auto group = world->cluster->makeReaderGroup("archive", {"bench/stream"}, rcfg);
+    auto reader = group.value()->createReader("r0", world->cluster->newClientHost());
+
+    // CRC the first `crcEvents` events only: both rows certainly drain that
+    // prefix, so the checksum compares identical event sets even if the two
+    // runs overshoot the drain target by different amounts.
+    const uint64_t crcEvents = singleBacklogBytes() * 90 / 100 / kEventBytes;
+    struct DrainState {
+        uint64_t bytes = 0;
+        uint64_t events = 0;
+        uint32_t crc = 0;
+    };
+    auto st = std::make_shared<DrainState>();
+    auto alive = world->alive;
+    std::function<void()> pump = [&, st, alive, crcEvents]() {
+        reader->readNextEvent().onComplete([&, st, alive,
+                                            crcEvents](const Result<client::EventRead>& res) {
+            if (!*alive || !res.isOk()) return;
+            const Bytes& payload = res.value().payload;
+            st->bytes += payload.size();
+            if (st->events < crcEvents) {
+                st->crc = crc32(payload.data(), payload.size(), st->crc);
+            }
+            ++st->events;
+            pump();
+        });
+    };
+    sim::TimePoint start = world->exec().now();
+    pump();
+    uint64_t target = singleBacklogBytes() * 95 / 100;
+    int guard = maxSeconds() * 4 * 100;
+    while (st->bytes < target && guard-- > 0) world->exec().runFor(sim::msec(10));
+    double elapsed = static_cast<double>(world->exec().now() - start) / 1e9;
+    double mbps = elapsed > 0 ? static_cast<double>(st->bytes) / (1024 * 1024) / elapsed : 0;
+    double ratio = 0;
+    if (const auto* codec = world->cluster->codecLts(); codec != nullptr &&
+                                                        codec->storedBytes() > 0) {
+        ratio = static_cast<double>(codec->rawBytes()) /
+                static_cast<double>(codec->storedBytes());
+    }
+    report.addCustom(label,
+                     {{"archive", archive ? 1.0 : 0.0},
+                      {"compression_ratio", ratio},
+                      {"drained_mb", static_cast<double>(st->bytes) / (1024 * 1024)},
+                      {"elapsed_sec", elapsed},
+                      {"catchup_mbps", mbps},
+                      {"crc_events", static_cast<double>(crcEvents)},
+                      {"payload_crc32", static_cast<double>(st->crc)}},
+                     &world->exec().mergedMetrics());
+}
 }  // namespace
 
 int main() {
@@ -239,5 +326,12 @@ int main() {
                          &world->exec().mergedMetrics(),
                          caughtUp ? "" : "NEVER caught up (read <= write rate)");
     }
+
+    // New tiers appended last so the pre-existing rows keep their positions.
+    report.section("archive tier sweep (hot cache -> object store -> archive)");
+    report.note("archive rows: LTS codec on in both; archive=on migrates idle chunks "
+                "to the tape model — payload CRCs must match, only latency differs");
+    runArchiveSweep(report, /*archive=*/false);
+    runArchiveSweep(report, /*archive=*/true);
     return 0;
 }

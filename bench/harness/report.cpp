@@ -108,9 +108,12 @@ void Report::captureMetrics(const obs::MetricsRegistry* reg, Row& row) {
     reg->visitCounters([&row](const std::string& name, const obs::Counter& c) {
         row.metrics.emplace_back(name, static_cast<double>(c.value()));
     });
-    // Trace-stage summaries: where one event's latency was spent.
+    // Trace-stage summaries (where one event's latency was spent) plus the
+    // tape-library access distributions — the archive tier's first-byte
+    // latency is the whole point of its ablation row.
     reg->visitHistograms([&row](const std::string& name, const obs::LatencyHistogram& h) {
-        if (name.rfind("trace.", 0) != 0 || h.count() == 0) return;
+        bool traced = name.rfind("trace.", 0) == 0 || name.rfind("sim.tape.", 0) == 0;
+        if (!traced || h.count() == 0) return;
         row.metrics.emplace_back(name + ".count", static_cast<double>(h.count()));
         row.metrics.emplace_back(name + ".p50_ns", h.percentileNs(50));
         row.metrics.emplace_back(name + ".p99_ns", h.percentileNs(99));

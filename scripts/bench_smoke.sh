@@ -59,6 +59,46 @@ print(f'fig12 ablation OK: single-reader catch-up '
       f'prefetch.issued={on["metrics"]["store.prefetch.issued"]}')
 PY
 
+echo "== fig12 archive sweep: codec ratio, checksum cleanliness, tape latency =="
+python3 - "${OUT_DIR}/BENCH_fig12_historical_reads.json" <<'PY'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+rows = d["rows"]
+on = next(r for r in rows if r["series"] == "pravega-archive[archive=on]")
+off = next(r for r in rows if r["series"] == "pravega-archive[archive=off]")
+
+# Same seed, same writes: the archive tier must never change the bytes the
+# reader sees, only where they come from and how long the first byte takes.
+crc_on, crc_off = on["values"]["payload_crc32"], off["values"]["payload_crc32"]
+assert crc_on == crc_off != 0, f"payload CRC diverged: on={crc_on} off={crc_off}"
+assert on["values"]["crc_events"] == off["values"]["crc_events"] > 0
+
+for row in (on, off):
+    name = row["series"]
+    assert row["values"]["compression_ratio"] > 1, \
+        f'{name}: lts compression_ratio not > 1: {row["values"]["compression_ratio"]}'
+    raw = row["metrics"]["lts.codec.raw_bytes"]
+    stored = row["metrics"]["lts.codec.stored_bytes"]
+    assert stored > 0 and raw / stored > 1, \
+        f"{name}: codec did not reduce bytes (raw={raw} stored={stored})"
+    assert row["metrics"]["lts.checksum_failures"] == 0, \
+        f'{name}: checksum failures in a fault-free run'
+
+# Archive-on must actually hit tape, pay a mount, and show the deep
+# first-byte latency; archive-off has no tape library at all.
+assert on["metrics"].get("sim.tape.mounts", 0) >= 1, "archive=on never mounted tape"
+assert on["metrics"].get("lts.archive.migrations", 0) >= 1, "nothing migrated"
+assert on["metrics"].get("lts.archive.reads", 0) >= 1, "no reads served from archive"
+fb = on["metrics"].get("sim.tape.first_byte_ns.p50_ns", 0)
+assert fb >= 50e6, f"archive first-byte p50 too shallow: {fb} ns"
+assert "sim.tape.ops" not in off["metrics"], "archive=off row has tape traffic"
+
+print(f'fig12 archive OK: ratio={on["values"]["compression_ratio"]:.1f}x, '
+      f'migrations={on["metrics"]["lts.archive.migrations"]:.0f}, '
+      f'tape first-byte p50={fb/1e6:.0f} ms, payload crc match')
+PY
+
 echo "== fig14 detection: chaos-scored recall/precision acceptance =="
 python3 - "${OUT_DIR}/BENCH_fig14_detection.json" <<'PY'
 import json, sys

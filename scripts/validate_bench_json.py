@@ -133,6 +133,36 @@ def check_cores_rows(path, rows):
     return sum(len(v) for v in by_series.values())
 
 
+def check_archive_rows(path, rows):
+    """The optional archive-tier ablation rows (fig12): the codec + cold
+    archive sweep. Each row must carry the ablation flag, the payload
+    checksum that proves byte-identity across the flag, the codec reduction
+    ratio, and the codec/checksum metrics the smoke gates consume.
+    """
+    archive = [(i, r) for i, r in enumerate(rows)
+               if r["series"].startswith("pravega-archive[")]
+    if not archive:
+        return 0
+    flags = set()
+    for i, row in archive:
+        where = f"rows[{i}]"
+        values = row["values"]
+        for key in ("archive", "payload_crc32", "crc_events", "compression_ratio"):
+            if key not in values:
+                fail(path, f"{where} is an archive-ablation row missing {key!r}")
+            check_number(path, values[key], f"{where}.values.{key}")
+        if values["archive"] not in (0, 1):
+            fail(path, f'{where}.values.archive must be 0 or 1: {values["archive"]!r}')
+        flags.add(int(values["archive"]))
+        for key in ("lts.codec.raw_bytes", "lts.codec.stored_bytes",
+                    "lts.checksum_failures"):
+            if key not in row["metrics"]:
+                fail(path, f"{where} archive-ablation row missing metric {key!r}")
+    if flags != {0, 1}:
+        fail(path, f"archive ablation needs archive=0 AND archive=1 rows, got {flags}")
+    return len(archive)
+
+
 def check_micro_core(path, doc):
     """bench_micro_core must publish the DES-engine row: scheduler events,
     the wall-clock dispatch rate, and the deterministic copy budget."""
@@ -204,11 +234,14 @@ def validate(path):
         check_detection(path, doc["detection"])
         runs = len(doc["detection"]["runs"])
     cores_rows = check_cores_rows(path, doc["rows"])
+    archive_rows = check_archive_rows(path, doc["rows"])
     if doc["name"] == "micro_core":
         check_micro_core(path, doc)
     suffix = f", {runs} detection runs" if runs else ""
     if cores_rows:
         suffix += f", {cores_rows} cores-sweep rows"
+    if archive_rows:
+        suffix += f", {archive_rows} archive-ablation rows"
     print(f"{path}: OK ({len(doc['rows'])} rows{suffix})")
 
 

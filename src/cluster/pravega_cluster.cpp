@@ -42,6 +42,21 @@ PravegaCluster::PravegaCluster(ClusterConfig cfg)
         faultLts_ = std::make_unique<lts::FaultInjectionChunkStorage>(machine_, *lts_,
                                                                       cfg_.ltsFaults);
     }
+    // Decorator stack, inside out: backend → faults → archive → codec. The
+    // codec sits outermost so chunks stay compressed (and checksummed) when
+    // they migrate to the archive, and a fault-injected bit flip lands on
+    // stored bytes — which the codec must catch on read.
+    ltsTop_ = faultLts_ ? static_cast<lts::ChunkStorage*>(faultLts_.get()) : lts_.get();
+    if (cfg_.archiveLts) {
+        archiveLts_ = std::make_unique<lts::ArchiveTierChunkStorage>(machine_, *ltsTop_,
+                                                                     cfg_.ltsArchive);
+        ltsTop_ = archiveLts_.get();
+    }
+    if (cfg_.compressLts) {
+        codecLts_ = std::make_unique<lts::CodecChunkStorage>(machine_, *ltsTop_,
+                                                             cfg_.ltsCodec);
+        ltsTop_ = codecLts_.get();
+    }
 
     // Segment stores: frontend (request arrival) on core (s % cores),
     // containers placed on core (containerId % cores) — the shard-per-core

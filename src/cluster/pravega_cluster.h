@@ -14,6 +14,8 @@
 #include "cluster/coordination.h"
 #include "controller/auto_scaler.h"
 #include "controller/controller.h"
+#include "lts/archive_tier.h"
+#include "lts/chunk_codec.h"
 #include "lts/chunk_storage.h"
 #include "lts/fault_injection.h"
 #include "segmentstore/segment_store.h"
@@ -46,6 +48,17 @@ struct ClusterConfig {
     bool faultInjectLts = false;
     lts::FaultInjectionChunkStorage::Config ltsFaults;
 
+    /// Cold archive tier: migrates idle chunks from the primary store to a
+    /// tape-library model (deep first-byte latency). Off by default.
+    bool archiveLts = false;
+    lts::ArchiveTierChunkStorage::Config ltsArchive;
+
+    /// LTS data reduction: per-block compression + CRC checksums on the
+    /// flush path (outermost decorator — archived chunks stay compressed).
+    /// Off by default; the golden smoke JSON depends on that.
+    bool compressLts = false;
+    lts::CodecChunkStorage::Config ltsCodec;
+
     /// Seed for the network's per-link fault PRNGs (probabilistic loss).
     uint64_t networkFaultSeed = 0x5EED0FFAULL;
 
@@ -72,8 +85,9 @@ public:
     sim::Network& network() { return net_; }
     controller::Controller& ctrl() { return *controller_; }
     ContainerRegistry& registry() { return *registry_; }
-    /// The storage stores write to (the fault decorator when enabled).
-    lts::ChunkStorage& lts() { return faultLts_ ? *faultLts_ : *lts_; }
+    /// The storage stores write to: the outermost decorator of the stack
+    /// codec(archive(fault(backend))), each layer optional.
+    lts::ChunkStorage& lts() { return *ltsTop_; }
     CoordinationStore& coordination() { return coordination_; }
 
     std::vector<segmentstore::SegmentStore*> stores();
@@ -123,6 +137,12 @@ public:
     /// `faultInjectLts` is off.
     lts::FaultInjectionChunkStorage* faultLts() { return faultLts_.get(); }
 
+    /// The codec decorator, or nullptr when `compressLts` is off.
+    lts::CodecChunkStorage* codecLts() { return codecLts_.get(); }
+
+    /// The archive tier, or nullptr when `archiveLts` is off.
+    lts::ArchiveTierChunkStorage* archiveTier() { return archiveLts_.get(); }
+
     /// Runs the simulation for the given virtual duration / until idle.
     void runFor(sim::Duration d) { machine_.runFor(d); }
     uint64_t runUntilIdle() { return machine_.runUntilIdle(); }
@@ -142,6 +162,9 @@ private:
     std::vector<std::unique_ptr<wal::Bookie>> bookies_;
     std::unique_ptr<lts::ChunkStorage> lts_;  // backend
     std::unique_ptr<lts::FaultInjectionChunkStorage> faultLts_;  // optional decorator
+    std::unique_ptr<lts::ArchiveTierChunkStorage> archiveLts_;   // optional decorator
+    std::unique_ptr<lts::CodecChunkStorage> codecLts_;           // optional decorator
+    lts::ChunkStorage* ltsTop_ = nullptr;  // outermost layer of the stack
     std::vector<std::unique_ptr<segmentstore::SegmentStore>> stores_;
     std::vector<bool> storeAlive_;
     CoordinationStore coordination_;

@@ -1,5 +1,7 @@
 #include "common/hash.h"
 
+#include <array>
+
 namespace pravega {
 
 uint64_t fnv1a64(std::string_view data) {
@@ -9,6 +11,23 @@ uint64_t fnv1a64(std::string_view data) {
         h *= 0x100000001b3ULL;
     }
     return h;
+}
+
+uint32_t crc32(const uint8_t* data, size_t len, uint32_t seed) {
+    // Byte-wise table-driven CRC-32/IEEE; table built once, thread-safe
+    // under C++11 static-init rules.
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i) c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
 }
 
 uint64_t mix64(uint64_t x) {

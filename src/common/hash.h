@@ -5,6 +5,7 @@
 // stateless segment → segment-container assignment (§2.2).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -12,6 +13,11 @@ namespace pravega {
 
 /// FNV-1a 64-bit over an arbitrary byte string.
 uint64_t fnv1a64(std::string_view data);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range. Used for
+/// the LTS chunk-codec block checksums; `seed` chains partial updates
+/// (pass a previous result to continue a running CRC).
+uint32_t crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
 
 /// Mixes a 64-bit value (splitmix64 finalizer); good avalanche for ids.
 uint64_t mix64(uint64_t x);

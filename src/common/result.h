@@ -30,6 +30,7 @@ enum class Err {
     IoError,
     Timeout,
     Cancelled,
+    ChecksumMismatch,     // stored chunk block failed CRC verification
 };
 
 const char* errName(Err e);
@@ -116,6 +117,7 @@ inline const char* errName(Err e) {
         case Err::IoError: return "IoError";
         case Err::Timeout: return "Timeout";
         case Err::Cancelled: return "Cancelled";
+        case Err::ChecksumMismatch: return "ChecksumMismatch";
     }
     return "Unknown";
 }

@@ -82,7 +82,11 @@ Future<SharedBuf> SimulatedObjectStorage::read(const std::string& name, uint64_t
                                                uint64_t length) {
     auto data = mem_.read(name, offset, length);
     if (data.isReady() && !data.result().isOk()) return data;
-    return model_.get(length).then(
+    // Charge the model for the bytes actually transferred, not the requested
+    // length: a tail read near EOF returns fewer bytes and must not pay
+    // latency/throughput for bytes that never move.
+    uint64_t actual = data.result().value().size();
+    return model_.get(actual).then(
         [data](const Unit&) { return data.result().value(); });
 }
 
@@ -103,9 +107,19 @@ FileSystemChunkStorage::FileSystemChunkStorage(std::string rootDir) : root_(std:
 }
 
 std::string FileSystemChunkStorage::pathFor(const std::string& name) const {
-    std::string safe = name;
-    for (char& c : safe) {
-        if (c == '/') c = '_';
+    // Escape rather than substitute: mapping '/' to '_' would make chunks
+    // named "a/b" and "a_b" collide on the same file. '%' escapes itself so
+    // the mapping is injective.
+    std::string safe;
+    safe.reserve(name.size());
+    for (char c : name) {
+        if (c == '/') {
+            safe += "%2F";
+        } else if (c == '%') {
+            safe += "%25";
+        } else {
+            safe += c;
+        }
     }
     return root_ + "/" + safe;
 }
@@ -138,10 +152,11 @@ Future<SharedBuf> FileSystemChunkStorage::read(const std::string& name, uint64_t
     ++readOps_;
     auto it = sizes_.find(name);
     if (it == sizes_.end()) return Future<SharedBuf>::failed(Status(Err::NotFound, name));
+    if (offset > it->second) return Future<SharedBuf>::failed(Status(Err::BadOffset, name));
     std::ifstream f(pathFor(name), std::ios::binary);
     if (!f) return Future<SharedBuf>::failed(Status(Err::IoError, name));
     f.seekg(static_cast<std::streamoff>(offset));
-    Bytes out(static_cast<size_t>(std::min<uint64_t>(length, it->second - std::min(offset, it->second))));
+    Bytes out(static_cast<size_t>(std::min<uint64_t>(length, it->second - offset)));
     f.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(out.size()));
     out.resize(static_cast<size_t>(f.gcount()));
     return Future<SharedBuf>::ready(SharedBuf(std::move(out)));
@@ -182,9 +197,10 @@ Future<SharedBuf> NoOpChunkStorage::read(const std::string& name, uint64_t offse
     ++readOps_;
     auto it = sizes_.find(name);
     if (it == sizes_.end()) return Future<SharedBuf>::failed(Status(Err::NotFound, name));
+    if (offset > it->second) return Future<SharedBuf>::failed(Status(Err::BadOffset, name));
     // Data was discarded; return zero-filled bytes of the right size so
     // read paths can still be exercised for timing.
-    uint64_t n = offset < it->second ? std::min(length, it->second - offset) : 0;
+    uint64_t n = std::min(length, it->second - offset);
     return Future<SharedBuf>::ready(SharedBuf(Bytes(static_cast<size_t>(n), 0)));
 }
 

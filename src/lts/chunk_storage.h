@@ -36,6 +36,10 @@ public:
     /// Appends a fragment chain; backends consume per-fragment (the
     /// terminal media write), never flattening the chain first.
     virtual sim::Future<sim::Unit> append(const std::string& name, BufChain data) = 0;
+    /// Reads up to `length` bytes from `offset`. The out-of-range contract
+    /// is uniform across every backend: `offset > size` fails with
+    /// Err::BadOffset, `offset == size` returns an empty buffer, and a
+    /// length past EOF is clamped to the available bytes (a short read).
     virtual sim::Future<SharedBuf> read(const std::string& name, uint64_t offset,
                                         uint64_t length) = 0;
     virtual sim::Future<sim::Unit> remove(const std::string& name) = 0;

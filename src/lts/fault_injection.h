@@ -64,7 +64,18 @@ public:
     /// Restricts injected failures to the given OpKind mask.
     void setFailOps(unsigned mask) { cfg_.failOps = mask; }
 
+    /// Silent-corruption injection: flips one bit (at `bitOffset` within the
+    /// returned buffer, modulo its size) in each of the next `reads` read
+    /// results. The read SUCCEEDS with wrong bytes — exactly the failure
+    /// mode checksums exist to catch; a codec layer above must turn it into
+    /// Err::ChecksumMismatch, never data.
+    void corruptNextReads(int reads, uint64_t bitOffset = 0) {
+        corruptReads_ = reads;
+        corruptBitOffset_ = bitOffset;
+    }
+
     uint64_t injectedFailures() const { return injectedFailures_; }
+    uint64_t corruptedReads() const { return corruptedReads_; }
 
     sim::Future<sim::Unit> create(const std::string& name) override {
         if (shouldFail(kCreate)) return failUnit();
@@ -78,6 +89,19 @@ public:
                                 uint64_t length) override {
         if (shouldFail(kRead)) {
             return sim::Future<SharedBuf>::failed(Status(Err::IoError, "injected LTS failure"));
+        }
+        if (corruptReads_ > 0) {
+            --corruptReads_;
+            uint64_t bit = corruptBitOffset_;
+            return delayed(inner_.read(name, offset, length)
+                               .then([this, bit](const SharedBuf& buf) {
+                                   if (buf.size() == 0) return buf;
+                                   Bytes copy(buf.view().begin(), buf.view().end());
+                                   copy[(bit / 8) % copy.size()] ^=
+                                       static_cast<uint8_t>(1u << (bit % 8));
+                                   ++corruptedReads_;
+                                   return SharedBuf(std::move(copy));
+                               }));
         }
         return delayed(inner_.read(name, offset, length));
     }
@@ -131,6 +155,9 @@ private:
     Config cfg_;
     sim::Rng rng_;
     uint64_t injectedFailures_ = 0;
+    int corruptReads_ = 0;
+    uint64_t corruptBitOffset_ = 0;
+    uint64_t corruptedReads_ = 0;
 };
 
 }  // namespace pravega::lts

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/serde.h"
@@ -40,6 +41,8 @@ StorageWriter::StorageWriter(sim::Core& exec, SegmentContainer& container,
       mFlushes_(exec.metrics().counter("store.writer.flushes")),
       mFlushBytes_(exec.metrics().counter("store.writer.flush_bytes")),
       mFlushFailures_(exec.metrics().counter("store.writer.flush_failures")),
+      mCompactions_(exec.metrics().counter("store.writer.compactions")),
+      mCompactedBytes_(exec.metrics().counter("store.writer.compacted_bytes")),
       mOrphanChunks_(exec.metrics().gauge("lts.orphan_chunks")),
       mFlushNs_(exec.metrics().histogram("store.writer.flush_ns")),
       mFlushBatchBytes_(exec.metrics().histogram("store.writer.flush_batch_bytes")) {}
@@ -54,11 +57,28 @@ void StorageWriter::start() {
         start();  // re-arm, then scan
         scan();
     });
+    armCompactTimer();
+}
+
+// The flush-scan timer re-arms through start() (bumping timerEpoch_ every
+// tick), so the slower compaction timer keeps its own armed flag and epoch:
+// it survives scan re-arms but dies across stop().
+void StorageWriter::armCompactTimer() {
+    if (cfg_.compactMinChunkBytes == 0 || compactArmed_) return;
+    compactArmed_ = true;
+    uint64_t epoch = compactEpoch_;
+    exec_.scheduleWeak(cfg_.compactInterval, [this, epoch]() {
+        compactArmed_ = false;
+        if (epoch != compactEpoch_ || !running_) return;
+        compactScan();
+        armCompactTimer();
+    });
 }
 
 void StorageWriter::stop() {
     running_ = false;
     ++timerEpoch_;
+    ++compactEpoch_;
 }
 
 std::string StorageWriter::chunkKey(SegmentId segment, int64_t index) const {
@@ -73,6 +93,12 @@ std::string StorageWriter::chunkName(SegmentId segment, int64_t startOffset) con
     std::snprintf(buf, sizeof(buf), "seg-%016llx-%012lld",
                   static_cast<unsigned long long>(segment), static_cast<long long>(startOffset));
     return buf;
+}
+
+int64_t StorageWriter::chunkIndexFromKey(const std::string& key) {
+    size_t slash = key.find_last_of('/');
+    if (slash == std::string::npos) return -1;
+    return std::strtoll(key.c_str() + slash + 1, nullptr, 10);
 }
 
 void StorageWriter::queueAppend(SegmentId segment, int64_t offset, SharedBuf data,
@@ -147,7 +173,11 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
         auto rec = ChunkRecord::deserialize(chunks.back().second.value);
         if (rec) {
             last = rec.value();
-            lastIndex = static_cast<int64_t>(chunks.size()) - 1;
+            // The index comes from the KEY, not the record count: compaction
+            // deletes records, and a new chunk keyed `size()-1` would sort
+            // before surviving keys, breaking findChunks' key-order ==
+            // offset-order invariant.
+            lastIndex = chunkIndexFromKey(chunks.back().first);
             lastVersion = chunks.back().second.version;
         }
     }
@@ -319,6 +349,158 @@ void StorageWriter::flushSegment(SegmentId segment, SegmentState& state) {
         }
     };
     (*runPlan)(0);
+}
+
+uint64_t StorageWriter::compactions() const { return mCompactions_.value(); }
+
+void StorageWriter::compactScan() {
+    for (auto& [segment, state] : segments_) {
+        if (state.flushing || state.deleted) continue;
+        if (activeFlushes_ >= cfg_.maxConcurrentFlushes) break;
+        compactSegment(segment, state);
+    }
+}
+
+void StorageWriter::compactSegment(SegmentId segment, SegmentState& state) {
+    auto chunks = container_.tableScan(container_.systemTableSegment(),
+                                       chunkKey(segment, 0).substr(0, 24));
+    if (chunks.size() < 3) return;  // need a run of >= 2 plus the active tail
+    // Find the first run of >= 2 adjacent small chunks. The LAST record is
+    // never a candidate: it is still receiving appends, and merging it would
+    // race the flush path's durable-frontier math.
+    struct Victim {
+        std::string key;
+        int64_t version;
+        ChunkRecord rec;
+    };
+    std::vector<Victim> run;
+    size_t limit = chunks.size() - 1;
+    for (size_t i = 0; i < limit; ++i) {
+        auto rec = ChunkRecord::deserialize(chunks[i].second.value);
+        bool small = rec && rec.value().length > 0 &&
+                     rec.value().length < static_cast<int64_t>(cfg_.compactMinChunkBytes);
+        if (small) {
+            int64_t runBytes = 0;
+            for (const auto& v : run) runBytes += v.rec.length;
+            if (runBytes + rec.value().length <= static_cast<int64_t>(cfg_.maxChunkBytes)) {
+                run.push_back(
+                    Victim{chunks[i].first, chunks[i].second.version, rec.value()});
+                continue;
+            }
+        }
+        if (run.size() >= 2) break;  // a full run ended here — merge it
+        run.clear();
+    }
+    if (run.size() < 2) return;
+
+    // Lock the segment against concurrent flushes: the metadata CAS below
+    // and flushSegment's frontier scan must not interleave.
+    state.flushing = true;
+    ++activeFlushes_;
+
+    auto victims = std::make_shared<std::vector<Victim>>(std::move(run));
+    int64_t mergedStart = victims->front().rec.startOffset;
+    int64_t mergedLen = 0;
+    for (const auto& v : *victims) mergedLen += v.rec.length;
+    // `-c<gen>` uniquifies: plain chunkName(segment, mergedStart) is the
+    // first victim's own name (or a prior generation's).
+    std::string mergedName =
+        chunkName(segment, mergedStart) + "-c" + std::to_string(++compactGen_);
+
+    auto finish = [this, segment](bool ok, const std::string& newChunk) {
+        auto it = segments_.find(segment);
+        if (it != segments_.end()) it->second.flushing = false;
+        --activeFlushes_;
+        if (!ok && !newChunk.empty()) removeChunk(newChunk, /*isRetry=*/false);
+    };
+
+    // Read every victim chunk fully (in parallel — they are immutable), then
+    // write the merged chunk, then swap the metadata atomically.
+    auto payloads = std::make_shared<std::vector<SharedBuf>>(victims->size());
+    auto remaining = std::make_shared<size_t>(victims->size());
+    auto failed = std::make_shared<bool>(false);
+    for (size_t i = 0; i < victims->size(); ++i) {
+        const auto& v = (*victims)[i];
+        storage_.read(v.rec.name, 0, static_cast<uint64_t>(v.rec.length))
+            .onComplete([this, segment, victims, payloads, remaining, failed, i,
+                         mergedName, mergedStart, mergedLen,
+                         finish](const Result<SharedBuf>& r) {
+                if (!r.isOk() ||
+                    r.value().size() != static_cast<uint64_t>((*victims)[i].rec.length)) {
+                    *failed = true;
+                }
+                (*payloads)[i] = r.isOk() ? r.value() : SharedBuf();
+                if (--*remaining > 0) return;
+                if (*failed) {
+                    finish(false, "");
+                    return;
+                }
+                BufChain merged;
+                for (auto& buf : *payloads) merged.append(std::move(buf));
+                storage_.create(mergedName)
+                    .onComplete([this, segment, victims, merged = std::move(merged),
+                                 mergedName, mergedStart, mergedLen,
+                                 finish](const Result<sim::Unit>& cr) mutable {
+                        if (!cr.isOk()) {
+                            finish(false, "");
+                            return;
+                        }
+                        storage_.append(mergedName, std::move(merged))
+                            .onComplete([this, segment, victims, mergedName,
+                                         mergedStart, mergedLen,
+                                         finish](const Result<sim::Unit>& ar) {
+                                if (!ar.isOk()) {
+                                    finish(false, mergedName);
+                                    return;
+                                }
+                                // Atomic swap: the first victim's record
+                                // becomes the merged record; the rest are
+                                // deleted. Version guards abort the whole
+                                // batch if anything moved underneath us.
+                                std::vector<TableUpdate> batch;
+                                TableUpdate u;
+                                u.key = victims->front().key;
+                                u.value =
+                                    ChunkRecord{mergedName, mergedStart, mergedLen}
+                                        .serialize();
+                                u.expectedVersion = victims->front().version;
+                                batch.push_back(std::move(u));
+                                for (size_t k = 1; k < victims->size(); ++k) {
+                                    TableUpdate d;
+                                    d.key = (*victims)[k].key;
+                                    d.value = std::nullopt;
+                                    d.expectedVersion = (*victims)[k].version;
+                                    batch.push_back(std::move(d));
+                                }
+                                container_
+                                    .tableUpdate(container_.systemTableSegment(),
+                                                 std::move(batch))
+                                    .onComplete([this, victims, mergedName, mergedLen,
+                                                 finish](const Result<
+                                                         std::vector<int64_t>>& tr) {
+                                        if (!tr.isOk()) {
+                                            PLOG_WARN(kLog,
+                                                      "compaction CAS failed: %s",
+                                                      tr.status().toString().c_str());
+                                            finish(false, mergedName);
+                                            return;
+                                        }
+                                        mCompactions_.inc();
+                                        mCompactedBytes_.inc(
+                                            static_cast<uint64_t>(mergedLen));
+                                        // Old chunks are unreachable now; any
+                                        // read already in flight captured its
+                                        // data when it was issued.
+                                        for (const auto& v : *victims) {
+                                            removeChunk(v.rec.name,
+                                                        /*isRetry=*/false);
+                                        }
+                                        finish(true, "");
+                                    });
+                            });
+                    });
+            });
+    }
 }
 
 Result<int64_t> StorageWriter::reconcileSegment(SegmentId segment) {

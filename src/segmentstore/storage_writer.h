@@ -35,6 +35,13 @@ struct StorageWriterConfig {
     sim::Duration scanInterval = sim::msec(50);
     /// Max segment flushes in flight at once (parallel LTS streams).
     int maxConcurrentFlushes = 16;
+    /// Chunk compaction: merge a run of >= 2 adjacent flushed chunks each
+    /// smaller than this into one chunk (timeout-driven flushes of a slow
+    /// segment otherwise litter LTS with tiny objects). 0 disables
+    /// compaction (the default).
+    uint64_t compactMinChunkBytes = 0;
+    /// How often the compactor scans chunk metadata for merge candidates.
+    sim::Duration compactInterval = sim::sec(2);
 };
 
 /// Chunk metadata record stored in the container's system table.
@@ -82,6 +89,8 @@ public:
 
     uint64_t pendingBytes() const { return pendingBytes_; }
     uint64_t flushedBytes() const { return flushedBytes_; }
+    /// Completed chunk-compaction merges (see compactMinChunkBytes).
+    uint64_t compactions() const;
 
     /// Largest single-segment unflushed backlog. Flushes are serialized per
     /// segment, so this measures how far LTS drain lags ingest for the
@@ -105,8 +114,15 @@ private:
 
     void scan();
     void flushSegment(SegmentId segment, SegmentState& state);
+    void armCompactTimer();
+    void compactScan();
+    void compactSegment(SegmentId segment, SegmentState& state);
     std::string chunkKey(SegmentId segment, int64_t index) const;
     std::string chunkName(SegmentId segment, int64_t startOffset) const;
+    /// Parses the chunk index back out of a metadata key. After compaction
+    /// deletes records, `chunks.size() - 1` is NOT the last index — the key
+    /// itself is the only truth (new chunks must keep sorting after old).
+    static int64_t chunkIndexFromKey(const std::string& key);
 
     sim::Core& exec_;
     SegmentContainer& container_;
@@ -119,6 +135,9 @@ private:
     int activeFlushes_ = 0;
     bool running_ = false;
     uint64_t timerEpoch_ = 0;
+    int64_t compactGen_ = 0;  // uniquifies merged-chunk names
+    bool compactArmed_ = false;
+    uint64_t compactEpoch_ = 0;
 
     /// Best-effort chunk removal with one retry; failures land on the
     /// `lts.orphan_chunks` gauge instead of being silently dropped.
@@ -128,6 +147,8 @@ private:
     obs::Counter& mFlushes_;
     obs::Counter& mFlushBytes_;
     obs::Counter& mFlushFailures_;
+    obs::Counter& mCompactions_;
+    obs::Counter& mCompactedBytes_;
     obs::Gauge& mOrphanChunks_;
     obs::LatencyHistogram& mFlushNs_;
     obs::LatencyHistogram& mFlushBatchBytes_;

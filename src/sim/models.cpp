@@ -156,6 +156,55 @@ Future<Unit> ObjectStoreModel::transfer(uint64_t bytes) {
     return lanes_.acquire(laneWork);
 }
 
+TapeLibraryModel::TapeLibraryModel(Core& exec, Config cfg)
+    : exec_(exec),
+      cfg_(cfg),
+      mOps_(exec.metrics().counter("sim.tape.ops")),
+      mMounts_(exec.metrics().counter("sim.tape.mounts")),
+      mBytes_(exec.metrics().counter("sim.tape.bytes")),
+      mAccessNs_(exec.metrics().histogram("sim.tape.access_ns")),
+      mFirstByteNs_(exec.metrics().histogram("sim.tape.first_byte_ns")) {
+    assert(cfg_.drives > 0);
+    drives_.assign(static_cast<size_t>(cfg_.drives), Drive{});
+}
+
+Future<Unit> TapeLibraryModel::access(uint64_t cartridge, uint64_t bytes) {
+    int64_t cart = static_cast<int64_t>(cartridge % static_cast<uint64_t>(
+                                                        std::max(1, cfg_.cartridges)));
+    // Prefer the drive that already has this cartridge mounted; otherwise
+    // the earliest-free drive (deterministic: lowest index wins ties).
+    size_t best = 0;
+    bool affinity = false;
+    for (size_t i = 0; i < drives_.size(); ++i) {
+        if (drives_[i].mounted == cart) {
+            best = i;
+            affinity = true;
+            break;
+        }
+        if (drives_[i].freeAt < drives_[best].freeAt) best = i;
+    }
+    Drive& d = drives_[best];
+    TimePoint start = std::max(d.freeAt, exec_.now());
+    Duration firstByte = cfg_.seekLatency;
+    if (!affinity) {
+        firstByte += cfg_.mountLatency;
+        d.mounted = cart;
+        ++mounts_;
+        mMounts_.inc();
+    }
+    TimePoint done = start + firstByte + transferTime(bytes, cfg_.bytesPerSec);
+    d.freeAt = done;
+    bytesTransferred_ += bytes;
+    mOps_.inc();
+    mBytes_.inc(bytes);
+    mFirstByteNs_.record(start + firstByte - exec_.now());
+    mAccessNs_.record(done - exec_.now());
+
+    Promise<Unit> p;
+    exec_.schedule(done - exec_.now(), [p]() mutable { p.setValue(Unit{}); });
+    return p.future();
+}
+
 double ObjectStoreModel::backlogSeconds() const {
     Duration aggLag = std::max<Duration>(0, aggCursor_ - exec_.now());
     return toSeconds(std::max(aggLag, lanes_.backlog() / std::max(1, cfg_.maxConcurrent)));

@@ -225,4 +225,53 @@ private:
     obs::Gauge& mBacklogSec_;
 };
 
+/// Cold archive store (TALICS³-style tape library): a small pool of drives
+/// serves a large set of cartridges. An access whose cartridge is not
+/// already mounted on a drive pays a mount penalty (robot exchange + load +
+/// thread), then a seek to position, then streams at tape bandwidth — the
+/// deep-read first-byte latency profile that distinguishes an archive tier
+/// from object storage. Drives are modeled like QueuedResource lanes but
+/// keep per-drive mounted-cartridge state so cartridge affinity is real:
+/// back-to-back reads of the same cartridge pay one mount.
+class TapeLibraryModel {
+public:
+    struct Config {
+        int drives = 2;
+        int cartridges = 16;
+        /// Robot exchange + load + thread time on a cartridge switch.
+        Duration mountLatency = msec(400);
+        /// Position seek charged on every access (tape wind).
+        Duration seekLatency = msec(60);
+        double bytesPerSec = 120.0 * 1024 * 1024;  // LTO-class streaming rate
+    };
+
+    TapeLibraryModel(Core& exec, Config cfg);
+
+    /// Charges one access of `bytes` against cartridge `cartridge`
+    /// (hashed into the library's cartridge set). Completes when the
+    /// transfer finishes; first-byte latency = queue + mount? + seek.
+    Future<Unit> access(uint64_t cartridge, uint64_t bytes);
+
+    uint64_t mounts() const { return mounts_; }
+    uint64_t bytesTransferred() const { return bytesTransferred_; }
+    const Config& config() const { return cfg_; }
+
+private:
+    struct Drive {
+        int64_t mounted = -1;  // cartridge id, -1 = empty
+        TimePoint freeAt = 0;
+    };
+
+    Core& exec_;
+    Config cfg_;
+    std::vector<Drive> drives_;
+    uint64_t mounts_ = 0;
+    uint64_t bytesTransferred_ = 0;
+    obs::Counter& mOps_;
+    obs::Counter& mMounts_;
+    obs::Counter& mBytes_;
+    obs::LatencyHistogram& mAccessNs_;
+    obs::LatencyHistogram& mFirstByteNs_;
+};
+
 }  // namespace pravega::sim

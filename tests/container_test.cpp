@@ -271,6 +271,78 @@ TEST_F(ContainerFixture, ChunksRollOver) {
     EXPECT_EQ(c->getInfo(kSeg).value().storageLength, 20000);
 }
 
+TEST_F(ContainerFixture, CompactorMergesSmallChunksAndPreservesOffsets) {
+    // Phase 1: a container configured with tiny chunks litters LTS with
+    // small objects (the real-world source of small-chunk runs is a raised
+    // maxChunkBytes across restarts — reproduced here via recovery).
+    {
+        auto cfg = fastConfig();
+        cfg.storage.maxChunkBytes = 1024;
+        auto c = makeContainer(1, cfg);
+        c->createSegment(kSeg, "s");
+        exec.runUntilIdle();
+        appendSync(*c, kSeg, std::string(8192, 'y'));
+        exec.runFor(sim::sec(1));
+        auto before = c->tableScan(c->systemTableSegment(), "chunks/");
+        ASSERT_GE(before.size(), 8u);
+    }  // container dies; metadata + chunks survive in lts/WAL
+
+    // Phase 2: successor with bigger chunks and compaction enabled.
+    auto cfg = fastConfig();
+    cfg.storage.maxChunkBytes = 16 * 1024;
+    cfg.storage.compactMinChunkBytes = 4096;  // the 1 KB chunks qualify
+    cfg.storage.compactInterval = sim::msec(100);
+    auto c = makeContainer(1, cfg);
+    exec.runUntilIdle();
+    // An append registers the segment with the storage writer's scan.
+    appendSync(*c, kSeg, std::string(100, 'z'));
+    exec.runFor(sim::sec(2));  // flush + compaction scans run
+
+    auto after = c->tableScan(c->systemTableSegment(), "chunks/");
+    ASSERT_FALSE(after.empty());
+    EXPECT_LT(after.size(), 8u);  // small-chunk run collapsed
+    EXPECT_GT(c->storageWriter().compactions(), 0u);
+
+    // findChunks' invariants: records contiguous from 0, keys in offset
+    // order, and every record's chunk exists in LTS at the recorded length.
+    int64_t cursor = 0;
+    for (const auto& [key, value] : after) {
+        auto rec = ChunkRecord::deserialize(BytesView(value.value));
+        ASSERT_TRUE(rec.isOk());
+        EXPECT_EQ(rec.value().startOffset, cursor) << "gap/overlap at key " << key;
+        cursor += rec.value().length;
+        auto info = lts.stat(rec.value().name);
+        ASSERT_TRUE(info.isOk()) << rec.value().name;
+        EXPECT_EQ(static_cast<int64_t>(info.value().length), rec.value().length);
+    }
+    EXPECT_EQ(cursor, 8192 + 100);
+
+    // Data identical after the merge: every byte of the original run.
+    auto merged = ChunkRecord::deserialize(BytesView(after.front().second.value)).value();
+    auto data = lts.read(merged.name, 0, static_cast<uint64_t>(merged.length));
+    exec.runUntilIdle();
+    ASSERT_TRUE(data.result().isOk());
+    for (uint8_t b : data.result().value().view()) EXPECT_EQ(b, 'y');
+
+    // Regression (chunk index from KEY, not record count): a post-compaction
+    // flush must key its new chunks after the surviving ones.
+    appendSync(*c, kSeg, std::string(20000, 'w'));
+    exec.runFor(sim::sec(1));
+    auto later = c->tableScan(c->systemTableSegment(), "chunks/");
+    cursor = 0;
+    std::string prevKey;
+    for (const auto& [key, value] : later) {
+        EXPECT_GT(key, prevKey);
+        prevKey = key;
+        auto rec = ChunkRecord::deserialize(BytesView(value.value));
+        ASSERT_TRUE(rec.isOk());
+        EXPECT_EQ(rec.value().startOffset, cursor) << "order broken at " << key;
+        cursor += rec.value().length;
+    }
+    EXPECT_EQ(cursor, 8192 + 100 + 20000);
+    EXPECT_EQ(c->getInfo(kSeg).value().storageLength, 8192 + 100 + 20000);
+}
+
 TEST_F(ContainerFixture, WalTruncatedAfterFlushAndCheckpoint) {
     auto cfg = fastConfig();
     cfg.checkpointEveryOps = 10;
