@@ -1,6 +1,7 @@
 #include "lts/archive_tier.h"
 
 #include <algorithm>
+#include <cassert>
 #include <vector>
 
 #include "common/hash.h"
@@ -37,7 +38,10 @@ uint64_t ArchiveTierChunkStorage::cartridgeFor(const std::string& name) const {
 void ArchiveTierChunkStorage::scheduleScan() {
     if (cfg_.scanInterval <= 0) return;
     // Weak timer: the scan must not keep runUntilIdle() from terminating.
-    exec_.scheduleWeak(cfg_.scanInterval, [this] {
+    // The liveness token guards against the tier being destroyed while the
+    // timer (owned by the machine) is still in flight.
+    exec_.scheduleWeak(cfg_.scanInterval, [this, alive = alive_] {
+        if (!*alive) return;
         scanNow();
         scheduleScan();
     });
@@ -62,7 +66,10 @@ Future<Unit> ArchiveTierChunkStorage::append(const std::string& name, BufChain d
     if (it->second.archived) {
         // Rare append-after-migrate: the data lands on tape directly.
         auto stored = archMem_.append(name, std::move(data));
-        if (stored.isReady() && !stored.result().isOk()) return stored;
+        // archMem_ is the always-ready InMemoryChunkStorage; the synchronous
+        // bookkeeping below depends on that.
+        assert(stored.isReady());
+        if (!stored.result().isOk()) return stored;
         it->second.bytes += nbytes;
         archivedBytes_ += nbytes;
         mArchivedBytes_.set(static_cast<double>(archivedBytes_));
@@ -88,7 +95,10 @@ Future<SharedBuf> ArchiveTierChunkStorage::read(const std::string& name, uint64_
     ++archReadOps_;
     mReads_.inc();
     auto data = archMem_.read(name, offset, length);
-    if (data.isReady() && !data.result().isOk()) return data;
+    // archMem_ is the always-ready InMemoryChunkStorage: resolving result()
+    // here is only safe because the inner future can never be pending.
+    assert(data.isReady());
+    if (!data.result().isOk()) return data;
     // Charge the tape for the bytes actually returned (clamped, like every
     // other timed backend), then hand the caller the identical payload it
     // would have read from the primary tier — only the latency differs.
@@ -129,17 +139,35 @@ void ArchiveTierChunkStorage::scanNow() {
     // Projected primary footprint: shrinks as migrations are issued so the
     // size policy stops once the batch would bring us under the cap.
     uint64_t projected = primaryBytes_;
-    int issued = 0;
     std::vector<std::string> picks;
-    for (auto& [name, m] : meta_) {  // name order: deterministic
-        if (issued >= cfg_.maxMigrationsPerScan) break;
+    // Age policy first (name order: deterministic; every idle chunk is
+    // eligible). Not-yet-idle chunks become size-pressure candidates unless
+    // they were appended within pressureMinIdle — an actively-written tail
+    // chunk must never be a migration victim.
+    std::vector<std::pair<sim::TimePoint, std::string>> candidates;
+    for (auto& [name, m] : meta_) {
         if (m.archived || m.migrating || m.bytes == 0) continue;
-        const bool idle = now - m.lastAppend >= cfg_.minIdle;
-        const bool pressure = projected > cfg_.primaryCapacityBytes;
-        if (!idle && !pressure) continue;
-        picks.push_back(name);
-        projected -= std::min(projected, m.bytes);
-        ++issued;
+        const sim::Duration idleFor = now - m.lastAppend;
+        if (idleFor >= cfg_.minIdle) {
+            if (static_cast<int>(picks.size()) < cfg_.maxMigrationsPerScan) {
+                picks.push_back(name);
+                projected -= std::min(projected, m.bytes);
+            }
+        } else if (idleFor >= cfg_.pressureMinIdle) {
+            candidates.emplace_back(m.lastAppend, name);
+        }
+    }
+    // Size policy: still over the cap after the age picks, so migrate the
+    // least-recently-appended candidates (oldest lastAppend first, name as
+    // the deterministic tiebreak) until projected back under.
+    if (projected > cfg_.primaryCapacityBytes) {
+        std::sort(candidates.begin(), candidates.end());
+        for (const auto& [when, name] : candidates) {
+            if (static_cast<int>(picks.size()) >= cfg_.maxMigrationsPerScan) break;
+            if (projected <= cfg_.primaryCapacityBytes) break;
+            picks.push_back(name);
+            projected -= std::min(projected, meta_[name].bytes);
+        }
     }
     for (const auto& name : picks) migrate(name);
 }
@@ -147,25 +175,44 @@ void ArchiveTierChunkStorage::scanNow() {
 void ArchiveTierChunkStorage::migrate(const std::string& name) {
     auto it = meta_.find(name);
     if (it == meta_.end() || it->second.archived || it->second.migrating) return;
+    const sim::TimePoint startedAt = exec_.now();
+    // A chunk appended this very tick is not quiescent; the snapshot below
+    // could race the append's completion. Skip — a later scan retries.
+    if (it->second.lastAppend >= startedAt) return;
     it->second.migrating = true;
     const uint64_t nbytes = it->second.bytes;
-    primary_.read(name, 0, nbytes).onComplete([this, name, nbytes](
+    primary_.read(name, 0, nbytes).onComplete([this, name, nbytes, startedAt](
                                                   const Result<SharedBuf>& r) {
         auto mit = meta_.find(name);
         if (mit == meta_.end()) return;  // removed mid-migration
-        if (!r.isOk() || r.value().size() != nbytes) {
-            mit->second.migrating = false;  // retry on a later scan
+        if (!r.isOk() || r.value().size() != nbytes || mit->second.bytes != nbytes ||
+            mit->second.lastAppend >= startedAt) {
+            // Read failed, or an append landed after the snapshot was taken
+            // (appends keep routing to the primary tier while migrating):
+            // abort and retry on a later scan.
+            mit->second.migrating = false;
             return;
         }
         archMem_.create(name);
         archMem_.append(name, BufChain(r.value()));
         // The archive copy is durable once the tape write finishes; only
         // then does routing flip and the primary copy get dropped.
-        tape_.access(cartridgeFor(name), nbytes).onComplete([this, name, nbytes](
+        tape_.access(cartridgeFor(name), nbytes).onComplete([this, name, nbytes,
+                                                             startedAt](
                                                                 const Result<Unit>&) {
             auto mit2 = meta_.find(name);
             if (mit2 == meta_.end()) {
                 archMem_.remove(name);  // chunk removed while we copied
+                return;
+            }
+            if (mit2->second.bytes != nbytes || mit2->second.lastAppend >= startedAt) {
+                // An append raced the tape write; the archive copy holds a
+                // stale snapshot. Abort: drop the copy, keep primary routing
+                // (and the primary bytes), retry once the chunk is idle.
+                // Without this check the remove() below would destroy the
+                // newly appended bytes.
+                archMem_.remove(name);
+                mit2->second.migrating = false;
                 return;
             }
             mit2->second.archived = true;

@@ -5,8 +5,10 @@
 // library: a mount penalty when the chunk's cartridge is not already on a
 // drive, a per-access seek, then streaming at tape bandwidth. Chunks start
 // life in the primary tier; a periodic scan migrates chunks that have been
-// idle past `minIdle` — or, under size pressure, the oldest chunks above
-// `primaryCapacityBytes` — by copying them to the archive and then removing
+// idle past `minIdle` — or, while the primary footprint exceeds
+// `primaryCapacityBytes`, the least-recently-appended chunks (oldest
+// `lastAppend` first, and never one written within `pressureMinIdle`) — by
+// copying them to the archive and then removing
 // the primary copy. Reads stay address-transparent: a caller never learns a
 // chunk moved except through latency (deep-read first byte) — payload bytes
 // are identical either way, which is exactly what the fig12 archive
@@ -20,11 +22,17 @@
 // Migration ordering is crash-consistent by construction: copy to archive
 // (charging a tape write), flip routing to the archive, and only then
 // remove the primary copy. A chunk removed mid-migration aborts the
-// migration and cleans up its archive copy.
+// migration and cleans up its archive copy. Appends stay routed to the
+// primary tier while a migration is in flight; before flipping routing the
+// migration re-checks that the chunk did not grow past its snapshot
+// (`bytes`/`lastAppend` vs migration start) and aborts — dropping the
+// archive copy, keeping the primary one — if it did, so a racing append is
+// never destroyed. A later scan retries once the chunk is quiet again.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "lts/chunk_storage.h"
@@ -41,9 +49,15 @@ public:
         /// A chunk with no appends for this long becomes migratable (age
         /// policy).
         sim::Duration minIdle = sim::sec(5);
-        /// Primary-tier footprint above which idle age is ignored and the
-        /// scan migrates chunks until back under the cap (size policy).
+        /// Primary-tier footprint above which the scan also migrates
+        /// not-yet-idle chunks, least-recently-appended first, until the
+        /// projected footprint is back under the cap (size policy).
         uint64_t primaryCapacityBytes = UINT64_MAX;
+        /// Floor on victim idleness under size pressure: a chunk appended
+        /// within this window is never migrated, so an actively-written
+        /// tail chunk cannot race its own appends (migrate() additionally
+        /// aborts if an append lands mid-flight).
+        sim::Duration pressureMinIdle = sim::msec(100);
         /// Cadence of the migration scan. <= 0 disables the automatic scan
         /// (tests drive `scanNow()` directly).
         sim::Duration scanInterval = sim::sec(1);
@@ -55,6 +69,7 @@ public:
     ArchiveTierChunkStorage(sim::Core& exec, ChunkStorage& primary, Config cfg);
     ArchiveTierChunkStorage(sim::Core& exec, ChunkStorage& primary)
         : ArchiveTierChunkStorage(exec, primary, Config{}) {}
+    ~ArchiveTierChunkStorage() override { *alive_ = false; }
 
     sim::Future<sim::Unit> create(const std::string& name) override;
     sim::Future<sim::Unit> append(const std::string& name, BufChain data) override;
@@ -95,6 +110,9 @@ private:
     sim::Core& exec_;
     ChunkStorage& primary_;
     Config cfg_;
+    /// Liveness token for the periodic scan timer (scheduleWeak holds a raw
+    /// `this` inside the machine, which can outlive this object).
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
     InMemoryChunkStorage archMem_;  // archive data plane (timing via tape_)
     sim::TapeLibraryModel tape_;
     std::map<std::string, Meta> meta_;

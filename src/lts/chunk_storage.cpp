@@ -1,5 +1,6 @@
 #include "lts/chunk_storage.h"
 
+#include <cassert>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -81,7 +82,10 @@ Future<Unit> SimulatedObjectStorage::append(const std::string& name, BufChain da
 Future<SharedBuf> SimulatedObjectStorage::read(const std::string& name, uint64_t offset,
                                                uint64_t length) {
     auto data = mem_.read(name, offset, length);
-    if (data.isReady() && !data.result().isOk()) return data;
+    // mem_ is the always-ready InMemoryChunkStorage: resolving result()
+    // before the model charge is only safe because it can never be pending.
+    assert(data.isReady());
+    if (!data.result().isOk()) return data;
     // Charge the model for the bytes actually transferred, not the requested
     // length: a tail read near EOF returns fewer bytes and must not pay
     // latency/throughput for bytes that never move.

@@ -54,6 +54,7 @@ SegmentContainer::SegmentContainer(sim::Core& exec, uint32_t containerId, wal::W
 
 SegmentContainer::~SegmentContainer() {
     if (!offline_) shutdown();
+    *alive_ = false;
 }
 
 SegmentContainer::SegmentMeta* SegmentContainer::findSegment(SegmentId id) {
@@ -138,7 +139,11 @@ void SegmentContainer::failAllPending(Status error) {
 
 void SegmentContainer::startCachePolicyTimer() {
     uint64_t epoch = cacheTimerEpoch_;
-    exec_.scheduleWeak(cfg_.cachePolicyInterval, [this, epoch]() {
+    // The liveness token must be checked before the epoch: the timer (owned
+    // by the machine) can fire after this container was destroyed, and even
+    // the epoch comparison would then read freed memory.
+    exec_.scheduleWeak(cfg_.cachePolicyInterval, [this, epoch, alive = alive_]() {
+        if (!*alive) return;
         if (epoch != cacheTimerEpoch_ || offline_) return;
         readIndex_.applyCachePolicy();
         startCachePolicyTimer();

@@ -307,6 +307,9 @@ private:
     uint64_t appliedOps_ = 0;
     bool offline_ = true;  // start() brings the container online
     uint64_t cacheTimerEpoch_ = 0;
+    /// Liveness token for the cache-policy timer (scheduleWeak holds a raw
+    /// `this` inside the machine, which can outlive this container).
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
     // World-aggregate container metrics (cached registry instruments).
     obs::Counter& mOpsEnqueued_;

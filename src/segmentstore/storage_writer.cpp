@@ -51,7 +51,8 @@ void StorageWriter::start() {
     if (running_) return;
     running_ = true;
     uint64_t epoch = ++timerEpoch_;
-    exec_.scheduleWeak(cfg_.scanInterval, [this, epoch]() {
+    exec_.scheduleWeak(cfg_.scanInterval, [this, epoch, alive = alive_]() {
+        if (!*alive) return;  // writer destroyed with the timer in flight
         if (epoch != timerEpoch_ || !running_) return;
         running_ = false;
         start();  // re-arm, then scan
@@ -62,14 +63,21 @@ void StorageWriter::start() {
 
 // The flush-scan timer re-arms through start() (bumping timerEpoch_ every
 // tick), so the slower compaction timer keeps its own armed flag and epoch:
-// it survives scan re-arms but dies across stop().
+// it survives scan re-arms but dies across stop() (which bumps the epoch AND
+// clears the armed flag, so the next start() arms a fresh timer). A stale
+// timer firing after a restart sees the epoch mismatch and returns without
+// touching compactArmed_ — that flag then describes the restart's timer.
 void StorageWriter::armCompactTimer() {
     if (cfg_.compactMinChunkBytes == 0 || compactArmed_) return;
     compactArmed_ = true;
     uint64_t epoch = compactEpoch_;
-    exec_.scheduleWeak(cfg_.compactInterval, [this, epoch]() {
+    exec_.scheduleWeak(cfg_.compactInterval, [this, epoch, alive = alive_]() {
+        if (!*alive) return;  // writer destroyed with the timer in flight
+        if (epoch != compactEpoch_) return;  // stale: a stop() invalidated us,
+                                             // and compactArmed_ now belongs
+                                             // to a newer timer (if any)
         compactArmed_ = false;
-        if (epoch != compactEpoch_ || !running_) return;
+        if (!running_) return;
         compactScan();
         armCompactTimer();
     });
@@ -79,6 +87,11 @@ void StorageWriter::stop() {
     running_ = false;
     ++timerEpoch_;
     ++compactEpoch_;
+    // The epoch bump orphaned any in-flight compaction timer; clear the armed
+    // flag so the next start() arms a fresh one instead of no-opping (the
+    // stale timer would otherwise never re-arm and compaction would stay dead
+    // across a stop()/start() cycle).
+    compactArmed_ = false;
 }
 
 std::string StorageWriter::chunkKey(SegmentId segment, int64_t index) const {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,7 @@ class StorageWriter {
 public:
     StorageWriter(sim::Core& exec, SegmentContainer& container, lts::ChunkStorage& storage,
                   StorageWriterConfig cfg);
+    ~StorageWriter() { *alive_ = false; }
 
     void start();
     void stop();
@@ -128,6 +130,12 @@ private:
     SegmentContainer& container_;
     lts::ChunkStorage& storage_;
     StorageWriterConfig cfg_;
+
+    /// Liveness token captured by the scan/compaction timers: scheduleWeak
+    /// callbacks hold a raw `this` and can outlive the writer (the machine
+    /// owns them), so a timer firing after destruction must bail before
+    /// touching members.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
     std::map<SegmentId, SegmentState> segments_;
     uint64_t pendingBytes_ = 0;

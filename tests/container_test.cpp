@@ -343,6 +343,38 @@ TEST_F(ContainerFixture, CompactorMergesSmallChunksAndPreservesOffsets) {
     EXPECT_EQ(c->getInfo(kSeg).value().storageLength, 8192 + 100 + 20000);
 }
 
+TEST_F(ContainerFixture, CompactionSurvivesWriterRestart) {
+    // Regression guard: a stop()/start() cycle while the pre-stop compaction
+    // timer is still in flight must leave compaction working. start()'s
+    // armCompactTimer() used to no-op on the stale armed flag, and the stale
+    // timer cleared the flag but bailed on the epoch mismatch without
+    // re-arming — compaction then stayed dead until the next start() call
+    // happened to re-arm it.
+    {
+        auto cfg = fastConfig();
+        cfg.storage.maxChunkBytes = 1024;
+        auto c = makeContainer(1, cfg);
+        c->createSegment(kSeg, "s");
+        exec.runUntilIdle();
+        appendSync(*c, kSeg, std::string(8192, 'y'));
+        exec.runFor(sim::sec(1));
+    }  // small-chunk litter survives in LTS/WAL
+
+    auto cfg = fastConfig();
+    cfg.storage.maxChunkBytes = 16 * 1024;
+    cfg.storage.compactMinChunkBytes = 4096;
+    cfg.storage.compactInterval = sim::msec(100);
+    auto c = makeContainer(1, cfg);
+    exec.runUntilIdle();
+    // Cycle the writer before the first compactInterval elapses: the timer
+    // armed by the initial start() is still pending across this restart.
+    c->storageWriter().stop();
+    c->storageWriter().start();
+    appendSync(*c, kSeg, std::string(100, 'z'));
+    exec.runFor(sim::sec(2));  // flush + compaction scans run
+    EXPECT_GT(c->storageWriter().compactions(), 0u);
+}
+
 TEST_F(ContainerFixture, WalTruncatedAfterFlushAndCheckpoint) {
     auto cfg = fastConfig();
     cfg.checkpointEveryOps = 10;

@@ -104,7 +104,9 @@ TEST_P(ChunkStorageSemantics, OutOfRangeReadContract) {
     auto tail = waitResult(exec_, storage_->read("c", 2, 100));
     ASSERT_TRUE(tail.isOk());
     EXPECT_EQ(tail.value().size(), 3u);
-    if (dataFidelity()) EXPECT_EQ(toString(tail.value().view()), "llo");
+    if (dataFidelity()) {
+        EXPECT_EQ(toString(tail.value().view()), "llo");
+    }
 }
 
 TEST_P(ChunkStorageSemantics, ReadMissingChunkFails) {
@@ -411,9 +413,87 @@ TEST_F(ArchiveTierTest, SizePressureMigratesBeforeIdle) {
     ArchiveTierChunkStorage arch(exec, mem, cfg);
     waitStatus(exec, arch.create("seg-2-0"));
     waitStatus(exec, arch.append("seg-2-0", BufChain(Bytes(4096, 9))));
-    arch.scanNow();  // fresh, but over capacity
+    // Not idle enough for the age policy (minIdle 1s) but past the pressure
+    // floor: the size policy may take it.
+    exec.runFor(sim::msec(200));
+    arch.scanNow();  // over capacity
     exec.runUntilIdle();
     EXPECT_EQ(arch.archivedChunks(), 1u);
+}
+
+TEST_F(ArchiveTierTest, SizePressurePicksLeastRecentlyAppendedFirst) {
+    ArchiveTierChunkStorage::Config cfg = config();
+    cfg.primaryCapacityBytes = 1024;
+    cfg.maxMigrationsPerScan = 1;  // one victim per scan: exposes ordering
+    sim::Machine exec;
+    InMemoryChunkStorage mem;
+    ArchiveTierChunkStorage arch(exec, mem, cfg);
+    // "zz" sorts after "aa" by name but was appended FIRST — the victim must
+    // be chosen by last-append age, not by map order.
+    waitStatus(exec, arch.create("zz-1-0"));
+    waitStatus(exec, arch.append("zz-1-0", BufChain(Bytes(2048, 1))));
+    exec.runFor(sim::msec(300));
+    waitStatus(exec, arch.create("aa-1-0"));
+    waitStatus(exec, arch.append("aa-1-0", BufChain(Bytes(2048, 2))));
+    exec.runFor(sim::msec(300));
+    arch.scanNow();
+    exec.runUntilIdle();
+    EXPECT_EQ(arch.archivedChunks(), 1u);
+    EXPECT_EQ(mem.stat("zz-1-0").code(), Err::NotFound);  // oldest went first
+    EXPECT_TRUE(mem.stat("aa-1-0").isOk());
+}
+
+TEST_F(ArchiveTierTest, SizePressureSparesActivelyWrittenChunks) {
+    ArchiveTierChunkStorage::Config cfg = config();
+    cfg.primaryCapacityBytes = 1024;
+    sim::Machine exec;
+    InMemoryChunkStorage mem;
+    ArchiveTierChunkStorage arch(exec, mem, cfg);
+    waitStatus(exec, arch.create("seg-4-0"));
+    waitStatus(exec, arch.append("seg-4-0", BufChain(Bytes(4096, 9))));
+    // Over capacity, but the chunk was appended this very tick (inside the
+    // pressureMinIdle window): it must not become a migration victim.
+    arch.scanNow();
+    exec.runUntilIdle();
+    EXPECT_EQ(arch.archivedChunks(), 0u);
+    EXPECT_TRUE(mem.stat("seg-4-0").isOk());
+}
+
+TEST_F(ArchiveTierTest, AppendDuringMigrationIsNotLost) {
+    // Regression (lost-write race): an append that lands between the
+    // migration's primary-read snapshot and the tape-write completion used
+    // to be destroyed — routing flipped to the stale archive copy and the
+    // primary copy (holding the new bytes) was removed.
+    Bytes first(4096);
+    for (size_t i = 0; i < first.size(); ++i) first[i] = static_cast<uint8_t>(i);
+    Bytes second(1024);
+    for (size_t i = 0; i < second.size(); ++i) second[i] = static_cast<uint8_t>(i + 7);
+
+    waitStatus(exec_, archive_.create("seg-5-0"));
+    waitStatus(exec_, archive_.append("seg-5-0", BufChain(Bytes(first))));
+    exec_.runFor(sim::sec(2));  // idle past minIdle
+    archive_.scanNow();
+    // The migration snapshot is taken; its tape write is still in flight.
+    // This append routes to the primary tier and must survive.
+    auto racing = archive_.append("seg-5-0", BufChain(Bytes(second)));
+    exec_.runUntilIdle();
+    EXPECT_TRUE(racing.isReady() && racing.result().isOk());
+    // The migration aborted: the chunk stays primary with ALL bytes.
+    EXPECT_EQ(archive_.archivedChunks(), 0u);
+    ASSERT_TRUE(mem_.stat("seg-5-0").isOk());
+    EXPECT_EQ(mem_.stat("seg-5-0").value().length, first.size() + second.size());
+
+    // Once quiet again, a later scan migrates the grown chunk whole.
+    exec_.runFor(sim::sec(2));
+    archive_.scanNow();
+    exec_.runUntilIdle();
+    EXPECT_EQ(archive_.archivedChunks(), 1u);
+    EXPECT_EQ(mem_.stat("seg-5-0").code(), Err::NotFound);
+    auto data = waitValue(exec_, archive_.read("seg-5-0", 0, first.size() + second.size()));
+    ASSERT_EQ(data.size(), first.size() + second.size());
+    EXPECT_TRUE(std::equal(first.begin(), first.end(), data.view().begin()));
+    EXPECT_TRUE(std::equal(second.begin(), second.end(),
+                           data.view().begin() + first.size()));
 }
 
 TEST_F(ArchiveTierTest, SegmentChunksShareACartridge) {
