@@ -99,6 +99,49 @@ print(f'fig12 archive OK: ratio={on["values"]["compression_ratio"]:.1f}x, '
       f'tape first-byte p50={fb/1e6:.0f} ms, payload crc match')
 PY
 
+echo "== fig13 fleet sweep: rebalancer + quota-isolation gates =="
+python3 - "${OUT_DIR}/BENCH_fig13_autoscaling.json" <<'PY'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+rows = {r["series"]: r for r in d["rows"] if r["series"].startswith("fleet-")}
+for series in ("fleet-static", "fleet-rebalance", "fleet-noisy", "fleet-control"):
+    assert series in rows, f"missing fleet row {series}"
+
+static, rebal = rows["fleet-static"]["values"], rows["fleet-rebalance"]["values"]
+# Scale floor: one sim really does model a fleet.
+for v in (static, rebal):
+    assert v["streams"] >= 10000, f'fleet run too small: {v["streams"]} streams'
+    assert v["modeled_producers"] >= 100000, \
+        f'fleet run models only {v["modeled_producers"]} producers'
+    assert v["offered_events"] > 0 and v["acked_events"] == v["offered_events"], \
+        "fleet run dropped events without a quota in play"
+# Identical seed → identical generated workload on both placements.
+for key in ("offered_events", "key_checksum_hi", "key_checksum_lo"):
+    assert static[key] == rebal[key], f"placement pair diverged on {key}"
+# The point of the sweep: load-aware placement beats static cid % N.
+assert static["moves"] == 0, "static row issued container moves"
+assert rebal["moves"] >= 1, "rebalancer never moved a container"
+assert static["max_min_ratio"] > 1.5, \
+    f'skewed fleet did not imbalance static placement: {static["max_min_ratio"]:.2f}'
+assert rebal["max_min_ratio"] < 0.8 * static["max_min_ratio"], (
+    f'rebalancer did not reduce load ratio: static={static["max_min_ratio"]:.2f} '
+    f'rebalance={rebal["max_min_ratio"]:.2f}')
+
+noisy, control = rows["fleet-noisy"]["values"], rows["fleet-control"]["values"]
+assert noisy["quota_throttled_events"] > 0, "noisy tenant was never throttled"
+assert noisy["steady_acked_frac"] >= 0.9, \
+    f'noisy neighbor starved the steady tenant: {noisy["steady_acked_frac"]:.3f}'
+assert noisy["noisy_splits"] >= 1, "auto-scaler never split under noisy load"
+assert control["quota_throttled_events"] == 0, \
+    "under-quota control run was throttled"
+print(f'fig13 fleet OK: ratio static={static["max_min_ratio"]:.2f} -> '
+      f'rebalance={rebal["max_min_ratio"]:.2f} ({int(rebal["moves"])} moves); '
+      f'noisy throttled={int(noisy["quota_throttled_events"])}, '
+      f'steady acked frac={noisy["steady_acked_frac"]:.3f}, '
+      f'splits={int(noisy["noisy_splits"])}')
+PY
+
 echo "== fig14 detection: chaos-scored recall/precision acceptance =="
 python3 - "${OUT_DIR}/BENCH_fig14_detection.json" <<'PY'
 import json, sys
@@ -171,6 +214,22 @@ print("determinism OK: JSON byte-identical modulo the wall-clock rate")
 PY
 diff "${DET_A}/stdout.txt" "${DET_B}/stdout.txt" \
   || { echo "metric dump differs between same-seed runs" >&2; exit 1; }
+
+echo "== determinism: fig13 fleet sweep rerun, byte-identical output =="
+# The fleet workload's contract: same seed → byte-identical counts, key
+# checksums, rebalance trajectory, and JSON — compare a fresh run against
+# the main-loop run above (same env: BENCH_CHAOS was set there too).
+FLEET_B="${OUT_DIR}/fleet-det"
+mkdir -p "${FLEET_B}"
+BENCH_SMOKE=1 BENCH_CHAOS=1 BENCH_OUT_DIR="${FLEET_B}" \
+  "${BENCH_DIR}/bench_fig13_autoscaling" > "${FLEET_B}/stdout.txt" 2>&1
+sed '/^# wrote /d' "${OUT_DIR}/bench_fig13_autoscaling.out" > "${FLEET_B}/a.txt"
+sed '/^# wrote /d' "${FLEET_B}/stdout.txt" > "${FLEET_B}/b.txt"
+diff "${FLEET_B}/a.txt" "${FLEET_B}/b.txt" \
+  || { echo "fig13 stdout differs between same-seed runs" >&2; exit 1; }
+diff "${OUT_DIR}/BENCH_fig13_autoscaling.json" "${FLEET_B}/BENCH_fig13_autoscaling.json" \
+  || { echo "fig13 JSON differs between same-seed runs" >&2; exit 1; }
+echo "fig13 determinism OK: fleet sweep byte-identical across runs"
 
 echo "== perf gate: engine events/sec vs committed baseline =="
 # The copy budget is deterministic and always enforced. The events/sec floor

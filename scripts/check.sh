@@ -27,5 +27,5 @@ run_suite() {
 run_suite plain ""
 run_suite asan address
 run_suite ubsan undefined
-run_suite tsan thread "sim_test|chaos_test|detect_test|obs_test"
+run_suite tsan thread "sim_test|chaos_test|detect_test|obs_test|workload_test|rebalance_test"
 echo "All checks passed."

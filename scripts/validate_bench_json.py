@@ -163,6 +163,52 @@ def check_archive_rows(path, rows):
     return len(archive)
 
 
+def check_fleet_rows(path, rows):
+    """The optional fleet-workload rows (fig13): aggregate-client fleet runs
+    driving the rebalance and quota policies. Every "fleet-" series row must
+    carry the fleet's scale facts and delivery counters; the placement pair
+    (static vs rebalance) additionally reports the load ratio and move
+    count, the quota pair the throttle/isolation outcomes.
+    """
+    fleet = [(i, r) for i, r in enumerate(rows)
+             if r["series"].startswith("fleet-")]
+    if not fleet:
+        return 0
+    series_seen = set()
+    for i, row in fleet:
+        where = f"rows[{i}]"
+        values = row["values"]
+        series_seen.add(row["series"])
+        for key in ("streams", "modeled_producers", "offered_events",
+                    "acked_events"):
+            if key not in values:
+                fail(path, f"{where} is a fleet row missing {key!r}")
+            check_number(path, values[key], f"{where}.values.{key}")
+            if values[key] < 0:
+                fail(path, f"{where}.values.{key} is negative")
+        if values["acked_events"] > values["offered_events"]:
+            fail(path, f"{where} acked more events than it offered")
+        if row["series"] in ("fleet-static", "fleet-rebalance"):
+            for key in ("max_min_ratio", "moves", "key_checksum_hi",
+                        "key_checksum_lo"):
+                if key not in values:
+                    fail(path, f"{where} placement row missing {key!r}")
+            if values["max_min_ratio"] < 1:
+                fail(path, f'{where} max_min_ratio < 1: {values["max_min_ratio"]}')
+        if row["series"] in ("fleet-noisy", "fleet-control"):
+            for key in ("quota_throttled_events", "steady_acked_frac",
+                        "noisy_splits"):
+                if key not in values:
+                    fail(path, f"{where} quota row missing {key!r}")
+            if not 0.0 <= values["steady_acked_frac"] <= 1.0:
+                fail(path, f'{where} steady_acked_frac out of [0,1]')
+    if "fleet-static" in series_seen and "fleet-rebalance" not in series_seen:
+        fail(path, "fleet placement sweep has static row but no rebalance row")
+    if "fleet-rebalance" in series_seen and "fleet-static" not in series_seen:
+        fail(path, "fleet placement sweep has rebalance row but no static row")
+    return len(fleet)
+
+
 def check_micro_core(path, doc):
     """bench_micro_core must publish the DES-engine row: scheduler events,
     the wall-clock dispatch rate, and the deterministic copy budget."""
@@ -235,6 +281,7 @@ def validate(path):
         runs = len(doc["detection"]["runs"])
     cores_rows = check_cores_rows(path, doc["rows"])
     archive_rows = check_archive_rows(path, doc["rows"])
+    fleet_rows = check_fleet_rows(path, doc["rows"])
     if doc["name"] == "micro_core":
         check_micro_core(path, doc)
     suffix = f", {runs} detection runs" if runs else ""
@@ -242,6 +289,8 @@ def validate(path):
         suffix += f", {cores_rows} cores-sweep rows"
     if archive_rows:
         suffix += f", {archive_rows} archive-ablation rows"
+    if fleet_rows:
+        suffix += f", {fleet_rows} fleet rows"
     print(f"{path}: OK ({len(doc['rows'])} rows{suffix})")
 
 

@@ -86,6 +86,18 @@ Status ContainerRegistry::rebalance(const std::vector<segmentstore::SegmentStore
     return Status::ok();
 }
 
+Status ContainerRegistry::moveContainer(uint32_t containerId,
+                                        segmentstore::SegmentStore* target) {
+    if (target == nullptr) return Status(Err::InvalidArgument, "null target");
+    if (containerId >= containerCount_) return Status(Err::InvalidArgument, "bad container");
+    auto it = owners_.find(containerId);
+    if (it != owners_.end() && it->second == target) return Status::ok();
+    if (it != owners_.end() && it->second != nullptr) {
+        it->second->removeContainer(containerId);  // graceful handoff
+    }
+    return assign(containerId, target);
+}
+
 Status ContainerRegistry::failStore(segmentstore::SegmentStore* crashed,
                                     const std::vector<segmentstore::SegmentStore*>& survivors) {
     if (survivors.empty()) return Status(Err::InvalidArgument, "no survivors");

@@ -69,6 +69,12 @@ public:
     Status failStore(segmentstore::SegmentStore* crashed,
                      const std::vector<segmentstore::SegmentStore*>& survivors);
 
+    /// Gracefully moves one container to `target`: the current owner shuts
+    /// it down (pending ops fail, clients retry against the new owner),
+    /// then `target` runs recovery + WAL fencing. The load-aware
+    /// rebalancer's primitive; a no-op when `target` already owns it.
+    Status moveContainer(uint32_t containerId, segmentstore::SegmentStore* target);
+
     segmentstore::SegmentStore* ownerOf(uint32_t containerId) const;
     segmentstore::SegmentContainer* containerFor(uint32_t containerId) const;
 

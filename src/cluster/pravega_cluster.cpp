@@ -77,6 +77,17 @@ PravegaCluster::PravegaCluster(ClusterConfig cfg)
                    balanced.toString().c_str());
     }
     controller_ = std::make_unique<controller::Controller>(machine_, *registry_, cfg_.controller);
+
+    if (cfg_.rebalanceContainers) {
+        rebalancer_ = std::make_unique<controller::Rebalancer>(machine_, *registry_, stores(),
+                                                               cfg_.rebalancer);
+        rebalancer_->start();
+    }
+    if (cfg_.tenantQuotas) {
+        quotas_ = std::make_unique<controller::TenantQuotaManager>(machine_, *controller_,
+                                                                   stores(), cfg_.quota);
+        quotas_->start();
+    }
 }
 
 wal::WalEnv PravegaCluster::walEnv() {

@@ -14,6 +14,8 @@
 #include "cluster/coordination.h"
 #include "controller/auto_scaler.h"
 #include "controller/controller.h"
+#include "controller/quota.h"
+#include "controller/rebalancer.h"
 #include "lts/archive_tier.h"
 #include "lts/chunk_codec.h"
 #include "lts/chunk_storage.h"
@@ -58,6 +60,17 @@ struct ClusterConfig {
     /// Off by default; the golden smoke JSON depends on that.
     bool compressLts = false;
     lts::CodecChunkStorage::Config ltsCodec;
+
+    /// Load-aware container rebalancing across segment stores: replaces
+    /// the boot-time static `cid % N` placement with a greedy move-budget
+    /// policy once traffic flows. Off by default.
+    bool rebalanceContainers = false;
+    controller::Rebalancer::Config rebalancer;
+
+    /// Per-tenant (scope) ingest quotas with cooperative throttling.
+    /// Off by default; register limits via `quotas()->setQuota(...)`.
+    bool tenantQuotas = false;
+    controller::TenantQuotaManager::Config quota;
 
     /// Seed for the network's per-link fault PRNGs (probabilistic loss).
     uint64_t networkFaultSeed = 0x5EED0FFAULL;
@@ -133,6 +146,13 @@ public:
     sim::HostId storeHost(size_t index) const;
     size_t liveStoreCount() const;
 
+    /// The load-aware container rebalancer, or nullptr when
+    /// `rebalanceContainers` is off.
+    controller::Rebalancer* rebalancer() { return rebalancer_.get(); }
+
+    /// The tenant quota manager, or nullptr when `tenantQuotas` is off.
+    controller::TenantQuotaManager* quotas() { return quotas_.get(); }
+
     /// The fault-injection decorator around LTS, or nullptr when
     /// `faultInjectLts` is off.
     lts::FaultInjectionChunkStorage* faultLts() { return faultLts_.get(); }
@@ -170,6 +190,10 @@ private:
     CoordinationStore coordination_;
     std::unique_ptr<ContainerRegistry> registry_;
     std::unique_ptr<controller::Controller> controller_;
+    // Declared after controller_/registry_/stores_ (destroyed first: both
+    // hold references into them).
+    std::unique_ptr<controller::Rebalancer> rebalancer_;
+    std::unique_ptr<controller::TenantQuotaManager> quotas_;
     sim::HostId nextClientHost_ = 1000;
 };
 

@@ -15,7 +15,10 @@ AutoScaler::AutoScaler(sim::Core& exec, Controller& controller,
                        std::vector<segmentstore::SegmentStore*> stores, Config cfg)
     : exec_(exec), controller_(controller), stores_(std::move(stores)), cfg_(cfg) {}
 
-AutoScaler::~AutoScaler() { stop(); }
+AutoScaler::~AutoScaler() {
+    stop();
+    *alive_ = false;
+}
 
 void AutoScaler::start() {
     if (running_) return;
@@ -26,8 +29,8 @@ void AutoScaler::start() {
 
 void AutoScaler::armTimer() {
     uint64_t epoch = ++epoch_;
-    exec_.scheduleWeak(cfg_.pollInterval, [this, epoch]() {
-        if (!running_ || epoch != epoch_) return;
+    exec_.scheduleWeak(cfg_.pollInterval, [this, alive = alive_, epoch]() {
+        if (!*alive || !running_ || epoch != epoch_) return;
         tick();
         armTimer();
     });
@@ -53,6 +56,12 @@ void AutoScaler::tick() {
             agg.events += rate.events;
         }
     }
+    evaluateAll(rates, windowSec);
+}
+
+void AutoScaler::evaluateAll(const std::map<SegmentId, segmentstore::SegmentRate>& rates,
+                             double windowSec) {
+    if (windowSec <= 0) return;
     lastRates_.clear();
     for (auto& [seg, rate] : rates) {
         lastRates_[seg] = static_cast<double>(rate.bytes) / windowSec;

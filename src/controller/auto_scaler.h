@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,13 @@ public:
     void start();
     void stop();
 
+    /// Evaluates every auto-scaling stream against an explicit per-segment
+    /// rate sample accumulated over `windowSec`. The poll timer feeds this
+    /// from the stores' drained rates; tests feed it synthetic samples to
+    /// pin down boundary/hysteresis behavior without driving traffic.
+    void evaluateAll(const std::map<SegmentId, segmentstore::SegmentRate>& rates,
+                     double windowSec);
+
     /// Most recent per-segment byte rates (B/s), for Fig 13-style plots.
     const std::map<SegmentId, double>& lastRates() const { return lastRates_; }
 
@@ -67,6 +75,10 @@ private:
     bool running_ = false;
     uint64_t splits_ = 0;
     uint64_t merges_ = 0;
+    /// Cleared on destruction; the poll timer checks it before touching
+    /// `this` (a weak timer can outlive the scaler — same pattern as the
+    /// PR-9 storage-writer/cache-policy fixes).
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace pravega::controller

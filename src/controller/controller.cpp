@@ -296,8 +296,8 @@ void Controller::persist(const std::string& scopedName) {
 
 void Controller::retentionTick() {
     uint64_t epoch = ++retentionEpoch_;
-    exec_.scheduleWeak(cfg_.retentionInterval, [this, epoch]() {
-        if (stopped_ || epoch != retentionEpoch_) return;
+    exec_.scheduleWeak(cfg_.retentionInterval, [this, alive = alive_, epoch]() {
+        if (!*alive || stopped_ || epoch != retentionEpoch_) return;
         for (auto& [name, rec] : streams_) {
             if (rec.config().retention.type == RetentionType::Size) {
                 enforceRetention(name, rec);

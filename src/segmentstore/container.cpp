@@ -566,6 +566,11 @@ void SegmentContainer::applyOp(Operation& op, int64_t walSequence, bool replay) 
                     auto& rate = rates_[op.segment];
                     rate.bytes += op.data.size();
                     rate.events += op.eventCount;
+                    auto& cum = cumRates_[op.segment];
+                    cum.bytes += op.data.size();
+                    cum.events += op.eventCount;
+                    cumBytes_ += op.data.size();
+                    cumEvents_ += op.eventCount;
                 }
             }
             if (!replay) wakeTailWaiters(op.segment);

@@ -161,6 +161,16 @@ public:
     /// Drains per-segment rate counters accumulated since the last call.
     std::map<SegmentId, SegmentRate> drainRates();
 
+    /// Monotonic ingest totals since this container instance started
+    /// (replay excluded). Unlike drainRates() these are not destructive,
+    /// so the rebalancer and the quota manager can take window deltas
+    /// without stealing the auto-scaler's feedback signal. A container
+    /// that moves to another store restarts from zero — consumers treat a
+    /// decrease as a fresh instance.
+    uint64_t totalBytesIn() const { return cumBytes_; }
+    uint64_t totalEventsIn() const { return cumEvents_; }
+    const std::map<SegmentId, SegmentRate>& cumulativeRates() const { return cumRates_; }
+
     std::vector<SegmentId> listSegments() const;
     uint64_t appliedOps() const { return appliedOps_; }
     int64_t lastAppliedSequence() const { return lastAppliedSeq_; }
@@ -296,6 +306,9 @@ private:
 
     std::map<SegmentId, std::vector<TailWaiter>> tailWaiters_;
     std::map<SegmentId, SegmentRate> rates_;
+    std::map<SegmentId, SegmentRate> cumRates_;
+    uint64_t cumBytes_ = 0;
+    uint64_t cumEvents_ = 0;
 
     // Storage read pipeline: in-flight fetch table (fetch start offset ->
     // fetch) and per-segment readahead state.

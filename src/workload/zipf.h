@@ -1,0 +1,59 @@
+// Deterministic Zipf(θ) rank sampler.
+//
+// The fleet workload model needs heavy-tailed skew in two places: which
+// stream the next event belongs to (a few streams carry most of the fleet's
+// traffic) and which routing key inside a stream it carries (a few keys
+// dominate a stream, concentrating load on one segment — the fig13 hot-split
+// trigger). Both are classic Zipf; the sampler here is a precomputed CDF
+// with binary-search inversion, so sampling is pure (Rng in, rank out),
+// byte-deterministic across runs, platforms, and core counts, and cheap
+// enough to draw hundreds of thousands of samples per simulated second.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace pravega::workload {
+
+class ZipfSampler {
+public:
+    /// Ranks 0..n-1 with P(rank=k) ∝ 1/(k+1)^theta. theta == 0 is uniform.
+    ZipfSampler(uint64_t n, double theta) : theta_(theta) {
+        cdf_.reserve(static_cast<size_t>(n));
+        double sum = 0.0;
+        for (uint64_t k = 0; k < n; ++k) {
+            sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+            cdf_.push_back(sum);
+        }
+        total_ = sum;
+    }
+
+    uint64_t size() const { return cdf_.size(); }
+    double theta() const { return theta_; }
+
+    /// Draws a rank in [0, size()). Consumes exactly one Rng value.
+    uint64_t sample(sim::Rng& rng) const {
+        double u = rng.nextDouble() * total_;
+        auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        if (it == cdf_.end()) return cdf_.size() - 1;
+        return static_cast<uint64_t>(it - cdf_.begin());
+    }
+
+    /// Probability mass of `rank` (the share of traffic it owns).
+    double weight(uint64_t rank) const {
+        if (rank >= cdf_.size()) return 0.0;
+        double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+        return (cdf_[rank] - lo) / total_;
+    }
+
+private:
+    double theta_;
+    double total_ = 0.0;
+    std::vector<double> cdf_;
+};
+
+}  // namespace pravega::workload

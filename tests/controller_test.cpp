@@ -326,5 +326,168 @@ TEST_F(ControllerFixture, CrashStoreRedistributesContainers) {
     }
 }
 
+// ---------------- AutoScaler hysteresis / boundary behavior ----------------
+
+// These tests feed evaluateAll() synthetic per-segment rate samples (the
+// same shape the poll timer drains from the stores) so boundary conditions
+// are exact — no traffic jitter, no timer races.
+struct AutoScalerFixture : public ControllerFixture {
+    static constexpr double kTarget = 100.0;  // events/s
+
+    StreamConfig scalingCfg(int initialSegments = 1) {
+        StreamConfig cfg;
+        cfg.initialSegments = initialSegments;
+        cfg.scaling.type = ScaleType::ByRateEvents;
+        cfg.scaling.targetRate = kTarget;
+        cfg.scaling.scaleFactor = 2;
+        cfg.scaling.minSegments = 1;
+        return cfg;
+    }
+
+    std::vector<SegmentId> currentSegments(const std::string& scoped) {
+        auto uris = cluster.ctrl().getCurrentSegments(scoped);  // keep alive
+        std::vector<SegmentId> ids;
+        for (const auto& uri : uris.value()) {
+            ids.push_back(uri.record.id);
+        }
+        return ids;
+    }
+
+    /// One-second window where every listed segment ingested `eventsPerSec`
+    /// events (bytes scaled ×100 so either policy type would agree).
+    std::map<SegmentId, segmentstore::SegmentRate> window(
+        const std::vector<SegmentId>& segments, double eventsPerSec) {
+        std::map<SegmentId, segmentstore::SegmentRate> rates;
+        for (SegmentId id : segments) {
+            rates[id] = {static_cast<uint64_t>(eventsPerSec * 100),
+                         static_cast<uint64_t>(eventsPerSec)};
+        }
+        return rates;
+    }
+};
+
+TEST_F(AutoScalerFixture, ExactHotBoundaryNeverSplits) {
+    // Hot is strict: rate > hotFactor × target. A segment pinned exactly AT
+    // the target must never split, no matter how long it sustains.
+    AutoScaler scaler(cluster.machine(), cluster.ctrl(), cluster.stores());
+    ASSERT_TRUE(cluster.createStream("sc", "edge", scalingCfg()).isOk());
+    auto segs = currentSegments("sc/edge");
+    for (int i = 0; i < 6; ++i) {
+        scaler.evaluateAll(window(segs, kTarget), 1.0);
+        cluster.runUntilIdle();
+    }
+    EXPECT_EQ(scaler.splitsIssued(), 0u);
+    EXPECT_EQ(currentSegments("sc/edge").size(), 1u);
+}
+
+TEST_F(AutoScalerFixture, ExactColdBoundaryNeverMerges) {
+    // Cold is strict: rate < coldFactor × target. Both siblings pinned
+    // exactly AT the cold threshold must never merge.
+    AutoScaler scaler(cluster.machine(), cluster.ctrl(), cluster.stores());
+    ASSERT_TRUE(cluster.createStream("sc", "edge", scalingCfg(2)).isOk());
+    auto segs = currentSegments("sc/edge");
+    for (int i = 0; i < 6; ++i) {
+        scaler.evaluateAll(window(segs, 0.5 * kTarget), 1.0);
+        cluster.runUntilIdle();
+    }
+    EXPECT_EQ(scaler.mergesIssued(), 0u);
+    EXPECT_EQ(currentSegments("sc/edge").size(), 2u);
+}
+
+TEST_F(AutoScalerFixture, SlightlyOverTargetSplitsOnlyAfterSustainWindows) {
+    AutoScaler scaler(cluster.machine(), cluster.ctrl(), cluster.stores());
+    ASSERT_TRUE(cluster.createStream("sc", "edge", scalingCfg()).isOk());
+    auto segs = currentSegments("sc/edge");
+
+    scaler.evaluateAll(window(segs, kTarget + 1), 1.0);  // window 1 of 2
+    cluster.runUntilIdle();
+    EXPECT_EQ(scaler.splitsIssued(), 0u);
+
+    scaler.evaluateAll(window(segs, kTarget + 1), 1.0);  // sustained → split
+    cluster.runUntilIdle();
+    EXPECT_EQ(scaler.splitsIssued(), 1u);
+    EXPECT_EQ(currentSegments("sc/edge").size(), 2u);
+}
+
+TEST_F(AutoScalerFixture, CooldownBlocksBackToBackScales) {
+    AutoScaler scaler(cluster.machine(), cluster.ctrl(), cluster.stores());
+    ASSERT_TRUE(cluster.createStream("sc", "edge", scalingCfg()).isOk());
+    auto segs = currentSegments("sc/edge");
+    scaler.evaluateAll(window(segs, 5 * kTarget), 1.0);
+    scaler.evaluateAll(window(segs, 5 * kTarget), 1.0);
+    cluster.runUntilIdle();
+    ASSERT_EQ(scaler.splitsIssued(), 1u);
+
+    // Still hot, but within the 4 s cooldown: evaluation is suppressed
+    // entirely (sustain counters must not even accumulate).
+    segs = currentSegments("sc/edge");
+    for (int i = 0; i < 4; ++i) {
+        scaler.evaluateAll(window(segs, 5 * kTarget), 1.0);
+        cluster.runUntilIdle();
+    }
+    EXPECT_EQ(scaler.splitsIssued(), 1u);
+
+    // Past the cooldown the same pressure scales again — and needs the full
+    // sustain count from scratch.
+    cluster.runFor(sim::sec(5));
+    scaler.evaluateAll(window(segs, 5 * kTarget), 1.0);
+    cluster.runUntilIdle();
+    EXPECT_EQ(scaler.splitsIssued(), 1u);  // one window is not sustained
+    scaler.evaluateAll(window(segs, 5 * kTarget), 1.0);
+    cluster.runUntilIdle();
+    EXPECT_EQ(scaler.splitsIssued(), 2u);
+}
+
+TEST_F(AutoScalerFixture, UnevenSiblingsMergeAcrossFullRange) {
+    // Merge partners need contiguity, not equal widths: [0,0.25) + [0.25,1)
+    // — products of different split generations — merge back to [0,1).
+    AutoScaler scaler(cluster.machine(), cluster.ctrl(), cluster.stores());
+    ASSERT_TRUE(cluster.createStream("sc", "edge", scalingCfg()).isOk());
+    SegmentId s0 = currentSegments("sc/edge")[0];
+    auto fut = cluster.ctrl().scaleStream("sc/edge", {s0}, {{0.0, 0.25}, {0.25, 1.0}});
+    ASSERT_TRUE(cluster.runUntil([&]() { return fut.isReady(); }, sim::sec(5)));
+    ASSERT_TRUE(fut.result().isOk());
+    cluster.runFor(sim::sec(5));  // clear any cooldown concerns
+
+    auto segs = currentSegments("sc/edge");
+    ASSERT_EQ(segs.size(), 2u);
+    scaler.evaluateAll(window(segs, 0.1 * kTarget), 1.0);
+    scaler.evaluateAll(window(segs, 0.1 * kTarget), 1.0);
+    cluster.runUntilIdle();
+    EXPECT_EQ(scaler.mergesIssued(), 1u);
+
+    const auto& merged = cluster.ctrl().getStream("sc/edge").value()->currentEpoch();
+    ASSERT_EQ(merged.segments.size(), 1u);
+    EXPECT_DOUBLE_EQ(merged.segments[0].keyStart, 0.0);
+    EXPECT_DOUBLE_EQ(merged.segments[0].keyEnd, 1.0);
+}
+
+TEST_F(AutoScalerFixture, MinSegmentsBlocksMerge) {
+    StreamConfig cfg = scalingCfg(2);
+    cfg.scaling.minSegments = 2;
+    AutoScaler scaler(cluster.machine(), cluster.ctrl(), cluster.stores());
+    ASSERT_TRUE(cluster.createStream("sc", "edge", cfg).isOk());
+    auto segs = currentSegments("sc/edge");
+    for (int i = 0; i < 4; ++i) {
+        scaler.evaluateAll(window(segs, 0.0), 1.0);
+        cluster.runUntilIdle();
+    }
+    EXPECT_EQ(scaler.mergesIssued(), 0u);
+    EXPECT_EQ(currentSegments("sc/edge").size(), 2u);
+}
+
+TEST_F(AutoScalerFixture, DestroyWithPendingPollTimerIsSafe) {
+    // Regression for the scheduleWeak liveness gap: the poll timer used to
+    // capture a raw `this`, so destroying the scaler with a poll queued was
+    // a use-after-free (caught under ASan).
+    ASSERT_TRUE(cluster.createStream("sc", "edge", scalingCfg()).isOk());
+    {
+        AutoScaler scaler(cluster.machine(), cluster.ctrl(), cluster.stores());
+        scaler.start();
+        cluster.runFor(sim::msec(200));  // timer armed for t+1s, not yet due
+    }
+    cluster.runFor(sim::sec(3));  // the orphaned weak timer fires harmlessly
+}
+
 }  // namespace
 }  // namespace pravega::controller

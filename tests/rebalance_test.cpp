@@ -1,0 +1,321 @@
+// Scale tests for the control-plane load policies: container rebalancing
+// (convergence under skew, move budget, steady-state stability) and
+// per-tenant ingest quotas (noisy-neighbor isolation, control-run silence),
+// all deterministic under the lockstep virtual clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/pravega_cluster.h"
+#include "controller/quota.h"
+#include "controller/rebalancer.h"
+#include "workload/fleet.h"
+
+namespace pravega::controller {
+namespace {
+
+using cluster::ClusterConfig;
+using cluster::PravegaCluster;
+using segmentstore::makeSegmentId;
+using workload::FleetConfig;
+using workload::FleetWorkload;
+using workload::TenantSpec;
+
+// Max/min per-store window ratio computed from the containers' monotonic
+// ingest counters (what the rebalancer itself windows).
+double storeLoadRatio(PravegaCluster& cluster) {
+    uint64_t maxLoad = 0, minLoad = UINT64_MAX;
+    for (auto* store : cluster.stores()) {
+        uint64_t load = 0;
+        for (uint32_t cid : store->containerIds()) {
+            load += store->container(cid)->totalBytesIn();
+        }
+        maxLoad = std::max(maxLoad, load);
+        minLoad = std::min(minLoad, load);
+    }
+    return static_cast<double>(maxLoad) / static_cast<double>(std::max<uint64_t>(minLoad, 1));
+}
+
+// Appends `bytes` to a fresh segment hosted by container `cid`, driving the
+// sim until the append lands. Direct container access: these unit tests
+// pick the target container explicitly instead of hashing a key.
+void loadContainer(PravegaCluster& cluster, uint32_t cid, uint64_t bytes, uint32_t salt) {
+    auto* container = cluster.registry().containerFor(cid);
+    ASSERT_NE(container, nullptr);
+    SegmentId seg = makeSegmentId(7, 1000 + cid * 100 + salt);
+    container->createSegment(seg, "load/" + std::to_string(cid) + "/" + std::to_string(salt));
+    cluster.runUntilIdle();
+    auto fut = container->append(seg, SharedBuf(Bytes(bytes, 0x5A)));
+    cluster.runUntilIdle();
+    ASSERT_TRUE(fut.isReady());
+    ASSERT_TRUE(fut.result().isOk()) << fut.result().status().toString();
+}
+
+struct RebalanceFixture : public ::testing::Test {
+    ClusterConfig clusterCfg() {
+        ClusterConfig cfg;
+        cfg.ltsKind = cluster::LtsKind::InMemory;
+        cfg.segmentStores = 3;
+        cfg.containerCount = 9;
+        return cfg;
+    }
+    PravegaCluster cluster{clusterCfg()};
+
+    Rebalancer::Config rebCfg() {
+        Rebalancer::Config cfg;
+        cfg.moveBudgetPerPoll = 2;
+        cfg.triggerRatio = 1.5;
+        cfg.targetRatio = 1.2;
+        cfg.minStoreBytesPerSec = 1024;
+        return cfg;
+    }
+};
+
+TEST_F(RebalanceFixture, ConvergesUnderSkewWithinMoveBudget) {
+    Rebalancer reb(cluster.machine(), cluster.registry(), cluster.stores(), rebCfg());
+    cluster.runFor(sim::msec(500));
+
+    // Static cid % 3 placement puts containers {0,3,6} on store 0 — load
+    // them 10× heavier than the rest.
+    for (uint32_t cid = 0; cid < 9; ++cid) {
+        loadContainer(cluster, cid, cid % 3 == 0 ? 1000 * 1024 : 100 * 1024, 0);
+    }
+    double before = storeLoadRatio(cluster);
+    EXPECT_GT(before, 2.0);
+
+    reb.tickNow();
+    EXPECT_GT(reb.movesIssued(), 0u);
+    EXPECT_LE(reb.movesIssued(), 2u);  // move budget respected
+    cluster.runUntilIdle();           // handoff recovery completes
+
+    // Next window with the same traffic pattern per container: the moved
+    // containers now spread the hot load across stores.
+    cluster.runFor(sim::msec(500));
+    for (uint32_t cid = 0; cid < 9; ++cid) {
+        loadContainer(cluster, cid, cid % 3 == 0 ? 1000 * 1024 : 100 * 1024, 1);
+    }
+    reb.tickNow();
+    cluster.runUntilIdle();
+    EXPECT_GT(reb.lastRatio(), 0.0);
+    EXPECT_LT(reb.lastRatio(), before);
+}
+
+TEST_F(RebalanceFixture, NoChurnInSteadyState) {
+    Rebalancer reb(cluster.machine(), cluster.registry(), cluster.stores(), rebCfg());
+    cluster.runFor(sim::msec(500));
+    for (int round = 0; round < 3; ++round) {
+        for (uint32_t cid = 0; cid < 9; ++cid) {
+            loadContainer(cluster, cid, 200 * 1024, static_cast<uint32_t>(round));
+        }
+        reb.tickNow();
+        cluster.runFor(sim::msec(500));
+    }
+    EXPECT_EQ(reb.movesIssued(), 0u);  // balanced fleet: zero moves
+    EXPECT_LE(reb.lastRatio(), 1.5);
+}
+
+TEST_F(RebalanceFixture, IdleFleetNeverRebalances) {
+    Rebalancer reb(cluster.machine(), cluster.registry(), cluster.stores(), rebCfg());
+    reb.start();
+    cluster.runFor(sim::sec(3));
+    reb.stop();
+    EXPECT_GT(reb.ticksRun(), 0u);
+    EXPECT_EQ(reb.movesIssued(), 0u);
+    EXPECT_EQ(reb.lastRatio(), 0.0);  // below the idle floor
+}
+
+TEST_F(RebalanceFixture, MovedContainerRecoversAndServesAppends) {
+    SegmentId seg = makeSegmentId(3, 77);
+    auto* container = cluster.registry().containerFor(4);
+    ASSERT_NE(container, nullptr);
+    container->createSegment(seg, "moved/seg");
+    cluster.runUntilIdle();
+    auto pre = container->append(seg, SharedBuf(Bytes(512, 0x11)));
+    cluster.runUntilIdle();
+    ASSERT_TRUE(pre.result().isOk());
+
+    auto* oldOwner = cluster.registry().ownerOf(4);
+    auto* target = cluster.stores()[0] == oldOwner ? cluster.stores()[1] : cluster.stores()[0];
+    ASSERT_TRUE(cluster.registry().moveContainer(4, target).isOk());
+    cluster.runUntilIdle();  // recovery + fencing
+    EXPECT_EQ(cluster.registry().ownerOf(4), target);
+    EXPECT_FALSE(oldOwner->hasContainer(4));
+
+    // The new instance recovered the WAL: the segment exists with its data,
+    // and appends keep flowing.
+    auto* moved = cluster.registry().containerFor(4);
+    ASSERT_NE(moved, nullptr);
+    ASSERT_TRUE(moved->getInfo(seg).isOk());
+    EXPECT_EQ(moved->getInfo(seg).value().length, 512);
+    auto post = moved->append(seg, SharedBuf(Bytes(256, 0x22)));
+    cluster.runUntilIdle();
+    ASSERT_TRUE(post.result().isOk());
+    EXPECT_EQ(moved->getInfo(seg).value().length, 512 + 256);
+    // The monotonic counter restarted with the new instance (recovery
+    // replay does not count) — the rebalancer's clamp depends on this.
+    EXPECT_EQ(moved->totalBytesIn(), 256u);
+}
+
+TEST_F(RebalanceFixture, StopDuringPollRegression) {
+    // scheduleWeak liveness token: destroying policy engines with a poll
+    // timer in flight must not touch freed memory (ASan guards this).
+    {
+        auto reb = std::make_unique<Rebalancer>(cluster.machine(), cluster.registry(),
+                                                cluster.stores(), rebCfg());
+        reb->start();
+        auto quota = std::make_unique<TenantQuotaManager>(cluster.machine(), cluster.ctrl(),
+                                                          cluster.stores());
+        quota->start();
+        auto scaler = std::make_unique<AutoScaler>(cluster.machine(), cluster.ctrl(),
+                                                   cluster.stores());
+        scaler->start();
+        cluster.runFor(sim::msec(100));  // timers armed, none fired yet
+    }
+    cluster.runFor(sim::sec(3));  // dangling weak timers fire harmlessly
+}
+
+// ----------------------------------------------------------- quotas
+
+struct QuotaFixture : public ::testing::Test {
+    ClusterConfig clusterCfg() {
+        ClusterConfig cfg;
+        cfg.ltsKind = cluster::LtsKind::InMemory;
+        cfg.tenantQuotas = true;
+        cfg.quota.pollInterval = sim::msec(250);
+        return cfg;
+    }
+    PravegaCluster cluster{clusterCfg()};
+
+    FleetConfig twoTenants(double noisyEventsPerSec) {
+        FleetConfig cfg;
+        cfg.seed = 99;
+        cfg.tick = sim::msec(125);
+        TenantSpec noisy;
+        noisy.scope = "noisy";
+        noisy.streams = 1;
+        noisy.producersPerStream = 200;
+        noisy.producerEventsPerSec = noisyEventsPerSec;
+        noisy.eventBytes = 512;
+        noisy.keysPerStream = 50;
+        cfg.tenants.push_back(noisy);
+        TenantSpec steady;
+        steady.scope = "steady";
+        steady.streams = 4;
+        steady.producersPerStream = 10;
+        steady.producerEventsPerSec = 2.0;
+        steady.eventBytes = 256;
+        cfg.tenants.push_back(steady);
+        return cfg;
+    }
+};
+
+TEST_F(QuotaFixture, NoisyNeighborThrottledSteadyTenantUntouched) {
+    // Noisy tenant offers ~1 MB/s against a 256 KB/s quota; steady tenant
+    // offers ~20 KB/s with no quota.
+    cluster.quotas()->setQuota("noisy", 256.0 * 1024);
+    FleetWorkload fleet(cluster, twoTenants(/*noisyEventsPerSec=*/10.0));
+    fleet.attachQuotas(cluster.quotas());
+    ASSERT_TRUE(fleet.setup().isOk());
+    fleet.start();
+    cluster.runFor(sim::sec(4));
+    fleet.stop();
+    cluster.runUntilIdle();
+
+    EXPECT_GT(fleet.throttledEvents(), 0u);
+    EXPECT_GT(cluster.quotas()->throttleTicks(), 0u);
+    // The throttle converged the measured rate to the quota's order of
+    // magnitude rather than the offered 1 MB/s.
+    EXPECT_LT(cluster.quotas()->measuredRate("noisy"), 2.5 * 256.0 * 1024);
+    // Isolation: every steady event was delivered.
+    EXPECT_EQ(fleet.ackedFor("steady"), fleet.offeredFor("steady"));
+    EXPECT_GT(fleet.offeredFor("steady"), 0u);
+    EXPECT_NEAR(cluster.quotas()->allowance("steady"), 1.0, 1e-9);
+}
+
+TEST_F(QuotaFixture, ControlRunUnderQuotaNeverThrottles) {
+    // Same fleet shape but the "noisy" tenant stays under its quota.
+    cluster.quotas()->setQuota("noisy", 256.0 * 1024);
+    FleetWorkload fleet(cluster, twoTenants(/*noisyEventsPerSec=*/1.0));  // ~100 KB/s
+    fleet.attachQuotas(cluster.quotas());
+    ASSERT_TRUE(fleet.setup().isOk());
+    fleet.start();
+    cluster.runFor(sim::sec(4));
+    fleet.stop();
+    cluster.runUntilIdle();
+
+    EXPECT_EQ(fleet.throttledEvents(), 0u);
+    EXPECT_EQ(cluster.quotas()->throttleTicks(), 0u);
+    EXPECT_NEAR(cluster.quotas()->allowance("noisy"), 1.0, 1e-9);
+    EXPECT_EQ(fleet.ackedEvents(), fleet.offeredEvents());
+}
+
+TEST_F(QuotaFixture, AllowanceRecoversAfterLoadDrops) {
+    cluster.quotas()->setQuota("noisy", 128.0 * 1024);
+    FleetWorkload fleet(cluster, twoTenants(/*noisyEventsPerSec=*/10.0));
+    fleet.attachQuotas(cluster.quotas());
+    ASSERT_TRUE(fleet.setup().isOk());
+    fleet.start();
+    cluster.runFor(sim::sec(3));
+    EXPECT_LT(cluster.quotas()->allowance("noisy"), 1.0);
+    fleet.stop();  // offered load vanishes
+    cluster.runUntilIdle();
+    cluster.runFor(sim::sec(3));  // recovery polls
+    EXPECT_NEAR(cluster.quotas()->allowance("noisy"), 1.0, 1e-9);
+}
+
+// --------------------------------------- end-to-end fleet convergence
+
+TEST(RebalanceFleetTest, RebalancerBeatsStaticPlacementUnderSkew) {
+    // Same seed, same fleet, two clusters: static cid % N placement vs the
+    // load-aware rebalancer. The skewed tenant concentrates traffic on a
+    // few containers; the rebalancer must spread them.
+    auto runFleet = [&](bool rebalance) {
+        ClusterConfig cfg;
+        cfg.ltsKind = cluster::LtsKind::InMemory;
+        cfg.segmentStores = 4;
+        cfg.containerCount = 16;
+        cfg.rebalanceContainers = rebalance;
+        cfg.rebalancer.pollInterval = sim::msec(500);
+        cfg.rebalancer.moveBudgetPerPoll = 3;
+        cfg.rebalancer.minStoreBytesPerSec = 16 * 1024;
+        PravegaCluster cluster(cfg);
+
+        FleetConfig fleetCfg;
+        fleetCfg.seed = 7;
+        fleetCfg.tick = sim::msec(250);
+        TenantSpec t;
+        t.scope = "skew";
+        t.streams = 48;
+        t.producersPerStream = 20;
+        t.producerEventsPerSec = 2.0;
+        t.eventBytes = 512;
+        t.streamSkewTheta = 1.4;  // heavy skew: top stream dominates
+        fleetCfg.tenants.push_back(t);
+
+        FleetWorkload fleet(cluster, fleetCfg);
+        EXPECT_TRUE(fleet.setup().isOk());
+
+        // Measure the final window only: reset deltas by running one poll
+        // period of warm-up traffic first.
+        fleet.start();
+        cluster.runFor(sim::sec(4));
+        fleet.stop();
+        cluster.runUntilIdle();
+
+        double moves = rebalance ? static_cast<double>(cluster.rebalancer()->movesIssued()) : 0;
+        // Final-window ratio: window the cumulative counters over the run's
+        // second half via the rebalancer when present, else compute overall.
+        double ratio = rebalance ? cluster.rebalancer()->lastRatio() : storeLoadRatio(cluster);
+        return std::pair<double, double>(ratio, moves);
+    };
+
+    auto [staticRatio, staticMoves] = runFleet(false);
+    auto [rebalRatio, rebalMoves] = runFleet(true);
+    EXPECT_EQ(staticMoves, 0);
+    EXPECT_GT(rebalMoves, 0);
+    EXPECT_GT(staticRatio, 2.0);       // skew really does imbalance cid % N
+    EXPECT_LT(rebalRatio, staticRatio);
+}
+
+}  // namespace
+}  // namespace pravega::controller
